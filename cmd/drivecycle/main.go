@@ -1,0 +1,70 @@
+// Command drivecycle inspects and exports the standard driving cycles used
+// by the experiments: summary statistics and the derived EV power request
+// series (the ADVISOR-substitute pipeline).
+//
+// Usage:
+//
+//	drivecycle                 # stats for all cycles
+//	drivecycle -cycle US06     # one cycle
+//	drivecycle -cycle US06 -csv us06.csv   # export speed trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/drivecycle"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drivecycle: ")
+
+	var (
+		name = flag.String("cycle", "", "cycle name (default: all)")
+		csv  = flag.String("csv", "", "optional path to export the speed trace as CSV (requires -cycle)")
+	)
+	flag.Parse()
+
+	var cycles []*drivecycle.Cycle
+	if *name == "" {
+		cycles = drivecycle.All()
+	} else {
+		c, err := drivecycle.ByName(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles = append(cycles, c)
+	}
+
+	ev := vehicle.MidSizeEV()
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s %10s\n",
+		"Cycle", "Dur (s)", "Dist (km)", "Avg km/h", "Max km/h", "RMS a", "Avg P(kW)", "Peak P(kW)")
+	for _, c := range cycles {
+		s := c.Stats()
+		p := vehicle.Stats(ev.PowerSeries(c), c.DT)
+		fmt.Printf("%-8s %10.0f %10.2f %10.1f %10.1f %10.2f %10.1f %10.1f\n",
+			c.Name, s.Duration, s.Distance/1000,
+			units.MsToKmh(s.AvgSpeed), units.MsToKmh(s.MaxSpeed), s.RMSAccel,
+			p.Mean/1e3, p.Peak/1e3)
+	}
+
+	if *csv != "" {
+		if len(cycles) != 1 {
+			log.Fatal("-csv requires -cycle")
+		}
+		f, err := os.Create(*csv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := cycles[0].WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d samples)\n", *csv, cycles[0].Samples())
+	}
+}

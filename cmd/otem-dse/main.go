@@ -1,0 +1,43 @@
+// Command otem-dse explores the HEES + cooling design space the paper
+// defers: ultracapacitor size × cooler capacity under the OTEM controller,
+// pricing each design and printing the cost-vs-battery-life Pareto
+// frontier.
+//
+// Usage:
+//
+//	otem-dse -cycle US06 -repeats 3 -slack 1.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("otem-dse: ")
+
+	var (
+		cycle   = flag.String("cycle", "US06", "drive cycle")
+		repeats = flag.Int("repeats", 3, "cycle repetitions")
+		slack   = flag.Float64("slack", 1.10, "loss slack multiplier for the recommended design")
+	)
+	flag.Parse()
+
+	res, err := dse.Explore(dse.Config{Cycle: *cycle, Repeats: *repeats})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Write(os.Stdout)
+
+	best, err := res.Best(*slack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommended (cheapest within %.0f%% of best loss): %.0f F bank + %.0f W cooler = $%.0f\n",
+		(*slack-1)*100, best.UltracapF, best.CoolerMaxPower, best.CostDollars)
+}

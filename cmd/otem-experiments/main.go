@@ -1,0 +1,120 @@
+// Command otem-experiments regenerates the paper's evaluation: every figure
+// and table of §IV (Fig. 1, Fig. 6, Fig. 7, Fig. 8, Fig. 9, Table I).
+//
+// Usage:
+//
+//	otem-experiments                 # run everything
+//	otem-experiments -run fig8,fig9  # selected experiments
+//	otem-experiments -repeats 3      # cheaper Fig. 8/9 sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("otem-experiments: ")
+
+	var (
+		run     = flag.String("run", "all", "comma-separated subset of: fig1,fig6,fig7,fig8,fig9,table1,hotspot,ablations ('all' = figures+table)")
+		repeats = flag.Int("repeats", 3, "cycle repetitions for the Fig. 8/9 sweep")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool {
+		if name == "ablations" {
+			return want[name] // opt-in only; ~1 min of MPC runs
+		}
+		return all || want[name]
+	}
+
+	out := os.Stdout
+	start := time.Now()
+
+	if selected("fig1") {
+		r, err := experiments.Fig1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Write(out)
+		fmt.Fprintln(out)
+	}
+	if selected("fig6") {
+		r, err := experiments.Fig6()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Write(out)
+		fmt.Fprintln(out)
+	}
+	if selected("fig7") {
+		r, err := experiments.Fig7()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Write(out)
+		fmt.Fprintln(out)
+	}
+	if selected("fig8") || selected("fig9") {
+		sweep, err := experiments.Sweep(*repeats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if selected("fig8") {
+			experiments.Fig8(sweep).Write(out)
+			fmt.Fprintln(out)
+		}
+		if selected("fig9") {
+			experiments.Fig9(sweep).Write(out)
+			fmt.Fprintln(out)
+		}
+	}
+	if selected("table1") {
+		r, err := experiments.TableI()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Write(out)
+		fmt.Fprintln(out)
+	}
+	if selected("hotspot") {
+		r, err := experiments.Hotspot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Write(out)
+		fmt.Fprintln(out)
+	}
+	if selected("ablations") {
+		for _, run := range []func() (*experiments.AblationResult, error){
+			experiments.AblationHorizon,
+			experiments.AblationWeights,
+			experiments.AblationNoise,
+			experiments.AblationPredictor,
+			experiments.AblationSensing,
+			experiments.AblationChemistry,
+		} {
+			r, err := run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Write(out)
+			fmt.Fprintln(out)
+		}
+	}
+
+	fmt.Fprintf(out, "total experiment time: %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,77 @@
+// Command otem-lifetime projects the battery to its end of life (20 %
+// capacity loss) under each methodology, carrying the accumulated fade into
+// the plant — the paper's BLT claim taken to its conclusion.
+//
+// Usage:
+//
+//	otem-lifetime -cycle US06 -repeats 3 -methods Parallel,Dual,OTEM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/drivecycle"
+	"repro/internal/experiments"
+	"repro/internal/lifetime"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("otem-lifetime: ")
+
+	var (
+		cycleName = flag.String("cycle", "US06", "drive cycle")
+		repeats   = flag.Int("repeats", 3, "cycle repetitions per route")
+		methods   = flag.String("methods", "Parallel,Dual,OTEM", "comma-separated methodologies")
+		block     = flag.Int("block", 2000, "routes extrapolated per simulated block")
+	)
+	flag.Parse()
+
+	cycle, err := drivecycle.ByName(*cycleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	route := cycle.Repeat(*repeats)
+	requests := vehicle.MidSizeEV().PowerSeries(route)
+	routeKm := route.Stats().Distance / 1000
+
+	for _, m := range strings.Split(*methods, ",") {
+		m = strings.TrimSpace(m)
+		factory, err := controllerFactory(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proj, err := lifetime.Project(
+			lifetime.DefaultPlantFactory(sim.PlantConfig{}),
+			factory, requests,
+			lifetime.Config{BlockRoutes: *block, RouteKm: routeKm},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proj.Write(os.Stdout, fmt.Sprintf("%s on %s ×%d", m, *cycleName, *repeats))
+		fmt.Println()
+	}
+}
+
+func controllerFactory(method string) (lifetime.ControllerFactory, error) {
+	switch method {
+	case experiments.MethodParallel:
+		return func() (sim.Controller, error) { return policy.Parallel{}, nil }, nil
+	case experiments.MethodCooling:
+		return func() (sim.Controller, error) { return policy.NewActiveCooling(), nil }, nil
+	case experiments.MethodDual:
+		return func() (sim.Controller, error) { return policy.NewDual(), nil }, nil
+	case experiments.MethodOTEM:
+		return func() (sim.Controller, error) { return core.New(core.DefaultConfig()) }, nil
+	}
+	return nil, fmt.Errorf("unknown methodology %q", method)
+}

@@ -1,0 +1,43 @@
+// Command otem-report regenerates the full paper-vs-measured record as a
+// markdown document from live runs (the generated counterpart of
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	otem-report -repeats 3 -o report.md
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("otem-report: ")
+
+	var (
+		repeats = flag.Int("repeats", 3, "cycle repetitions for the Fig. 8/9 sweep")
+		out     = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	if err := experiments.Report(w, *repeats); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Command otem-sim runs a single driving simulation under one methodology
+// and prints the Algorithm 1 outputs (capacity loss, HEES energy) plus the
+// derived metrics. Optionally dumps a per-step trace as CSV for plotting.
+//
+// Usage:
+//
+//	otem-sim -method OTEM -cycle US06 -repeats 5 -ucap 25000 -trace trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"encoding/json"
+
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("otem-sim: ")
+
+	var (
+		method  = flag.String("method", "OTEM", "methodology: "+strings.Join(experiments.Methods(), ", "))
+		cycle   = flag.String("cycle", "US06", "drive cycle: US06, UDDS, HWFET, NYCC, LA92, SC03")
+		repeats = flag.Int("repeats", 5, "number of back-to-back cycle repetitions")
+		ucap    = flag.Float64("ucap", 25000, "ultracapacitor size in farads")
+		trace   = flag.String("trace", "", "optional path for a per-step CSV trace")
+		analyze = flag.Bool("analyze", false, "print trace-derived analysis (peak shaving, regen capture, cooler duty)")
+		asJSON  = flag.Bool("json", false, "emit the result summary as JSON instead of text")
+	)
+	flag.Parse()
+
+	res, err := experiments.Run(experiments.RunSpec{
+		Method:    *method,
+		Cycle:     *cycle,
+		Repeats:   *repeats,
+		UltracapF: *ucap,
+		Trace:     *trace != "" || *analyze,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		summary := res
+		summary.Trace = nil // traces go to -trace, not the JSON summary
+		if err := enc.Encode(summary); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	duration := float64(res.Steps) * res.DT
+	if *asJSON {
+		// JSON replaces the text summary; analysis/trace flags still apply.
+		_ = duration
+	} else {
+		printSummary(res, *cycle, *repeats, *ucap, duration)
+	}
+
+	if *analyze {
+		fmt.Println()
+		analysis.Summarize(res.Trace, res.DT).Write(os.Stdout, res.Controller)
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.Trace.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace              %s (%d rows)\n", *trace, res.Steps)
+	}
+}
+
+// printSummary renders the human-readable result block.
+func printSummary(res sim.Result, cycle string, repeats int, ucap, duration float64) {
+	fmt.Printf("methodology        %s\n", res.Controller)
+	fmt.Printf("route              %s ×%d (%.0f s)\n", cycle, repeats, duration)
+	fmt.Printf("ultracapacitor     %.0f F\n", ucap)
+	fmt.Printf("capacity loss      %.6f %% of rated capacity\n", res.QlossPct)
+	fmt.Printf("HEES energy        %.2f MJ (%.2f kWh)\n", res.HEESEnergyJ/1e6, units.JouleToKWh(res.HEESEnergyJ))
+	fmt.Printf("average power      %.0f W\n", res.AvgPowerW)
+	fmt.Printf("cooling energy     %.2f MJ\n", res.CoolingEnergyJ/1e6)
+	fmt.Printf("battery temp       max %.2f °C, avg %.2f °C\n",
+		units.KToC(res.MaxBatteryTemp), units.KToC(res.AvgBatteryTemp))
+	fmt.Printf("thermal violation  %.0f s above 40 °C\n", res.ThermalViolationSec)
+	fmt.Printf("final SoC / SoE    %.3f / %.3f\n", res.FinalSoC, res.FinalSoE)
+	fmt.Printf("fallback steps     %d\n", res.FallbackSteps)
+}

@@ -1,0 +1,9 @@
+// Package repro is the root of the OTEM reproduction — a from-scratch Go
+// implementation of "OTEM: Optimized Thermal and Energy Management for
+// Hybrid Electrical Energy Storage in Electric Vehicles" (Vatanparvar &
+// Al Faruque, DATE 2016).
+//
+// The public API lives in repro/otem; the paper's evaluation is regenerated
+// by cmd/otem-experiments and by the benchmarks in bench_test.go (one per
+// paper table and figure). See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,131 @@
+// Package analysis derives methodology-level metrics from simulation
+// traces: how much of the load peaks the ultracapacitor shaved off the
+// battery, how much regenerative energy was captured, how hard the cooling
+// system worked. The experiments use these to explain *why* a methodology
+// won, beyond the headline Q_loss/energy numbers.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Summary holds trace-derived metrics for one run.
+type Summary struct {
+	// Steps is the trace length; DT the step in seconds.
+	Steps int
+	DT    float64
+
+	// PeakRequestW is the largest positive power request.
+	PeakRequestW float64
+	// PeakBatteryW is the largest positive battery terminal power.
+	PeakBatteryW float64
+	// PeakShavingFrac is 1 − PeakBatteryW/PeakRequestW: how much of the
+	// worst-case request the battery never saw (0 for battery-only paths).
+	PeakShavingFrac float64
+	// BatteryRMSW is the root-mean-square battery power — the I²R-loss and
+	// aging proxy.
+	BatteryRMSW float64
+
+	// RegenOfferedJ is the integral of negative requests (J, positive
+	// number), and RegenToCapJ the part absorbed by the ultracapacitor.
+	RegenOfferedJ float64
+	RegenToCapJ   float64
+
+	// CapThroughputJ is the total energy moved through the ultracapacitor
+	// (|discharge| + |charge|), the bank utilisation measure.
+	CapThroughputJ float64
+	// SoESwing is max SoE − min SoE over the run.
+	SoESwing float64
+
+	// CoolerDutyFrac is the fraction of steps with the cooling system on.
+	CoolerDutyFrac float64
+	// CoolerEnergyJ integrates the cooling electrical power.
+	CoolerEnergyJ float64
+
+	// TempMinK and TempMaxK bound the battery temperature.
+	TempMinK, TempMaxK float64
+}
+
+// Summarize computes the metrics from a trace sampled every dt seconds.
+func Summarize(tr *sim.Trace, dt float64) Summary {
+	var s Summary
+	if tr == nil || len(tr.Time) == 0 {
+		return s
+	}
+	s.Steps = len(tr.Time)
+	s.DT = dt
+	s.TempMinK, s.TempMaxK = tr.BatteryTemp[0], tr.BatteryTemp[0]
+	minSoE, maxSoE := tr.SoE[0], tr.SoE[0]
+
+	var sumSq float64
+	coolSteps := 0
+	for i := 0; i < s.Steps; i++ {
+		if p := tr.PowerRequest[i]; p > s.PeakRequestW {
+			s.PeakRequestW = p
+		} else if p < 0 {
+			s.RegenOfferedJ += -p * dt
+			if cp := tr.CapPower[i]; cp < 0 {
+				s.RegenToCapJ += math.Min(-cp, -p) * dt
+			}
+		}
+		bp := tr.BatteryPower[i]
+		if bp > s.PeakBatteryW {
+			s.PeakBatteryW = bp
+		}
+		sumSq += bp * bp
+		s.CapThroughputJ += math.Abs(tr.CapPower[i]) * dt
+		if tr.CoolerPower[i] > 0 {
+			coolSteps++
+			s.CoolerEnergyJ += tr.CoolerPower[i] * dt
+		}
+		if t := tr.BatteryTemp[i]; t < s.TempMinK {
+			s.TempMinK = t
+		} else if t > s.TempMaxK {
+			s.TempMaxK = t
+		}
+		if v := tr.SoE[i]; v < minSoE {
+			minSoE = v
+		} else if v > maxSoE {
+			maxSoE = v
+		}
+	}
+	s.BatteryRMSW = math.Sqrt(sumSq / float64(s.Steps))
+	if s.PeakRequestW > 0 {
+		s.PeakShavingFrac = 1 - s.PeakBatteryW/s.PeakRequestW
+		if s.PeakShavingFrac < 0 {
+			s.PeakShavingFrac = 0
+		}
+	}
+	s.CoolerDutyFrac = float64(coolSteps) / float64(s.Steps)
+	s.SoESwing = maxSoE - minSoE
+	return s
+}
+
+// RegenCaptureFrac returns the share of offered regenerative energy the
+// ultracapacitor absorbed (the battery or friction brakes took the rest).
+func (s Summary) RegenCaptureFrac() float64 {
+	if s.RegenOfferedJ == 0 {
+		return 0
+	}
+	return s.RegenToCapJ / s.RegenOfferedJ
+}
+
+// Write renders the summary as a labelled table.
+func (s Summary) Write(w io.Writer, label string) {
+	fmt.Fprintf(w, "# analysis: %s (%d steps)\n", label, s.Steps)
+	fmt.Fprintf(w, "peak request         %10.1f kW\n", s.PeakRequestW/1e3)
+	fmt.Fprintf(w, "peak battery power   %10.1f kW  (shaving %.1f %%)\n",
+		s.PeakBatteryW/1e3, 100*s.PeakShavingFrac)
+	fmt.Fprintf(w, "battery RMS power    %10.1f kW\n", s.BatteryRMSW/1e3)
+	fmt.Fprintf(w, "cap throughput       %10.2f MJ  (SoE swing %.2f)\n",
+		s.CapThroughputJ/1e6, s.SoESwing)
+	fmt.Fprintf(w, "regen capture by cap %10.1f %%\n", 100*s.RegenCaptureFrac())
+	fmt.Fprintf(w, "cooler duty          %10.1f %%  (%.2f MJ)\n",
+		100*s.CoolerDutyFrac, s.CoolerEnergyJ/1e6)
+	fmt.Fprintf(w, "battery temp range   %10.1f – %.1f °C\n",
+		s.TempMinK-273.15, s.TempMaxK-273.15)
+}

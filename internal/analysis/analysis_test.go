@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/drivecycle"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil, 1); s.Steps != 0 {
+		t.Errorf("nil trace: %+v", s)
+	}
+	if s := Summarize(&sim.Trace{}, 1); s.Steps != 0 {
+		t.Errorf("empty trace: %+v", s)
+	}
+}
+
+func TestSummarizeSynthetic(t *testing.T) {
+	tr := &sim.Trace{
+		Time:         []float64{0, 1, 2, 3},
+		PowerRequest: []float64{10e3, 80e3, -20e3, 0},
+		BatteryTemp:  []float64{298, 300, 301, 299},
+		CoolantTemp:  []float64{298, 298, 298, 298},
+		SoC:          []float64{1, 0.99, 0.99, 0.99},
+		SoE:          []float64{0.5, 0.3, 0.6, 0.6},
+		CoolerPower:  []float64{0, 5e3, 0, 0},
+		BatteryPower: []float64{10e3, 50e3, 0, 0},
+		CapPower:     []float64{0, 30e3, -15e3, 0},
+		BatteryHeat:  []float64{100, 900, 50, 10},
+	}
+	s := Summarize(tr, 1)
+	if s.PeakRequestW != 80e3 || s.PeakBatteryW != 50e3 {
+		t.Errorf("peaks: %v / %v", s.PeakRequestW, s.PeakBatteryW)
+	}
+	if math.Abs(s.PeakShavingFrac-0.375) > 1e-12 {
+		t.Errorf("shaving = %v, want 0.375", s.PeakShavingFrac)
+	}
+	if s.RegenOfferedJ != 20e3 {
+		t.Errorf("regen offered = %v", s.RegenOfferedJ)
+	}
+	if s.RegenToCapJ != 15e3 {
+		t.Errorf("regen to cap = %v", s.RegenToCapJ)
+	}
+	if math.Abs(s.RegenCaptureFrac()-0.75) > 1e-12 {
+		t.Errorf("capture = %v, want 0.75", s.RegenCaptureFrac())
+	}
+	if s.CapThroughputJ != 45e3 {
+		t.Errorf("throughput = %v, want 45 kJ", s.CapThroughputJ)
+	}
+	if s.CoolerDutyFrac != 0.25 || s.CoolerEnergyJ != 5e3 {
+		t.Errorf("cooler: duty %v energy %v", s.CoolerDutyFrac, s.CoolerEnergyJ)
+	}
+	if s.TempMinK != 298 || s.TempMaxK != 301 {
+		t.Errorf("temp range: %v–%v", s.TempMinK, s.TempMaxK)
+	}
+	if math.Abs(s.SoESwing-0.3) > 1e-12 {
+		t.Errorf("SoE swing = %v, want 0.3", s.SoESwing)
+	}
+	wantRMS := math.Sqrt((10e3*10e3 + 50e3*50e3) / 4)
+	if math.Abs(s.BatteryRMSW-wantRMS) > 1e-6 {
+		t.Errorf("RMS = %v, want %v", s.BatteryRMSW, wantRMS)
+	}
+}
+
+func TestRegenCaptureNoRegen(t *testing.T) {
+	s := Summary{}
+	if s.RegenCaptureFrac() != 0 {
+		t.Error("no-regen capture should be 0")
+	}
+}
+
+func TestDualShavesMoreThanBatteryOnly(t *testing.T) {
+	requests := vehicle.MidSizeEV().PowerSeries(drivecycle.US06().Repeat(2))
+	run := func(ctrl sim.Controller) Summary {
+		t.Helper()
+		plant, err := sim.NewPlant(sim.PlantConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(plant, ctrl, requests, sim.Config{RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(res.Trace, plant.DT)
+	}
+	dual := run(policy.NewDual())
+	battery := run(policy.BatteryOnly{})
+	if battery.PeakShavingFrac > 0.01 {
+		t.Errorf("battery-only shaving = %v, want ~0", battery.PeakShavingFrac)
+	}
+	if dual.CapThroughputJ <= battery.CapThroughputJ {
+		t.Error("dual must move energy through the capacitor")
+	}
+	if dual.RegenCaptureFrac() <= 0 {
+		t.Error("dual should capture regen into the capacitor")
+	}
+	if dual.BatteryRMSW >= battery.BatteryRMSW {
+		t.Errorf("dual RMS battery power %v should be below battery-only %v",
+			dual.BatteryRMSW, battery.BatteryRMSW)
+	}
+}
+
+func TestWriteRendersAllMetrics(t *testing.T) {
+	tr := &sim.Trace{
+		Time:         []float64{0},
+		PowerRequest: []float64{1e3},
+		BatteryTemp:  []float64{300},
+		CoolantTemp:  []float64{299},
+		SoC:          []float64{0.9},
+		SoE:          []float64{0.8},
+		CoolerPower:  []float64{100},
+		BatteryPower: []float64{1e3},
+		CapPower:     []float64{0},
+		BatteryHeat:  []float64{10},
+	}
+	var sb strings.Builder
+	Summarize(tr, 1).Write(&sb, "unit")
+	out := sb.String()
+	for _, want := range []string{"peak request", "cap throughput", "cooler duty", "temp range"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Write missing %q", want)
+		}
+	}
+}

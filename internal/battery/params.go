@@ -1,0 +1,125 @@
+// Package battery models the Li-ion cells and battery pack of the paper's
+// HEES (paper §II-A): the equivalent-circuit electrical model (Eqs. 1–3),
+// internal heat generation (Eq. 4) and the Arrhenius capacity-loss aging
+// model (Eq. 5), plus series×parallel pack aggregation.
+//
+// Sign convention: current and power are positive when discharging (the pack
+// delivers energy to the vehicle) and negative when charging (regenerative
+// braking).
+package battery
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// CellParams holds the empirical coefficients of one Li-ion cell. The
+// functional forms follow the paper exactly:
+//
+//	Voc(SoC)  = V[0]·e^{V[1]·z} + V[2]·z⁴ + V[3]·z³ + V[4]·z² + V[5]·z + V[6]   (Eq. 2)
+//	R(SoC,T)  = (R[0]·e^{R[1]·z} + R[2]) · e^{Kr·(1/T − 1/Tref)}                (Eq. 3)
+//	Q̇         = I·(Voc − Vterm) + I·T·dVoc/dT                                    (Eq. 4)
+//	dQloss/dt = L[0]·e^{−L[1]/(R̄·T)}·|I|^{L[2]}                                  (Eq. 5)
+//
+// where z is the state of charge as a fraction in [0, 1] and R̄ is the ideal
+// gas constant.
+type CellParams struct {
+	// CapacityAh is the rated cell capacity in ampere-hours at the nominal
+	// discharge rate.
+	CapacityAh float64
+	// V are the open-circuit-voltage coefficients of Eq. 2 (volts).
+	V [7]float64
+	// R are the internal-resistance coefficients of Eq. 3 at RefTemp (ohms).
+	R [3]float64
+	// Kr is the Arrhenius-style temperature sensitivity of the resistance in
+	// kelvin; resistance decreases as temperature rises (Kr > 0), capturing
+	// the higher usable capacity of Li-ion cells at elevated temperature.
+	Kr float64
+	// RefTemp is the reference temperature for R, in kelvin.
+	RefTemp float64
+	// DVocDT is the entropy coefficient dVoc/dT in V/K (Eq. 4).
+	DVocDT float64
+	// HeatCapacity is the lumped thermal capacity C_b of one cell in J/K.
+	HeatCapacity float64
+	// L are the capacity-loss coefficients of Eq. 5: L[0] pre-exponential
+	// (percent capacity per second at unit current), L[1] activation energy
+	// in J/mol, L[2] current exponent.
+	L [3]float64
+	// MinSoC and MaxSoC bound the usable state-of-charge window as
+	// fractions (constraint C4; the paper uses 20 %–100 %).
+	MinSoC, MaxSoC float64
+	// SafeTemp is the upper battery temperature limit T̄_b of constraint C1
+	// in kelvin; exceeding it is a thermal violation.
+	SafeTemp float64
+	// MaxCurrent is the per-cell discharge-current limit in amperes (part
+	// of constraint C6).
+	MaxCurrent float64
+}
+
+// NCR18650A returns parameters representative of the Panasonic NCR18650A
+// cell the paper cites (Tesla Model S pack chemistry). The OCV/resistance
+// shapes follow the Chen & Rincón-Mora equivalent-circuit fits for the same
+// cell family; aging uses a Millner-style Arrhenius activation energy.
+func NCR18650A() CellParams {
+	return CellParams{
+		CapacityAh: 3.1,
+		// Voc: -1.031·e^{-35z} + 0.3201·z³ − 0.1178·z² + 0.2156·z + 3.685
+		V:            [7]float64{-1.031, -35, 0, 0.3201, -0.1178, 0.2156, 3.685},
+		R:            [3]float64{0.0400, -20, 0.0240},
+		Kr:           1500,
+		RefTemp:      units.CToK(25),
+		DVocDT:       7e-4,
+		HeatCapacity: 40, // ≈46 g × 0.9 J/(g·K)
+		L:            [3]float64{16000.0, 60000, 1.20},
+		MinSoC:       0.20,
+		MaxSoC:       1.00,
+		SafeTemp:     units.CToK(40),
+		MaxCurrent:   15,
+	}
+}
+
+// Validate reports an error when the parameter set is physically
+// inconsistent.
+func (p CellParams) Validate() error {
+	switch {
+	case p.CapacityAh <= 0:
+		return fmt.Errorf("battery: CapacityAh = %g, must be > 0", p.CapacityAh)
+	case p.RefTemp <= 0:
+		return fmt.Errorf("battery: RefTemp = %g K, must be > 0", p.RefTemp)
+	case p.HeatCapacity <= 0:
+		return fmt.Errorf("battery: HeatCapacity = %g, must be > 0", p.HeatCapacity)
+	case p.MinSoC < 0 || p.MaxSoC > 1 || p.MinSoC >= p.MaxSoC:
+		return fmt.Errorf("battery: SoC window [%g, %g] invalid", p.MinSoC, p.MaxSoC)
+	case p.SafeTemp <= 0:
+		return fmt.Errorf("battery: SafeTemp = %g K, must be > 0", p.SafeTemp)
+	case p.MaxCurrent <= 0:
+		return fmt.Errorf("battery: MaxCurrent = %g, must be > 0", p.MaxCurrent)
+	case p.L[1] < 0:
+		return fmt.Errorf("battery: activation energy L[1] = %g, must be >= 0", p.L[1])
+	}
+	return nil
+}
+
+// LFP26650 returns parameters representative of a 26650 LiFePO4 cell — the
+// flat-plateau, thermally tolerant alternative chemistry. Compared to the
+// NCA-class NCR18650A: lower nominal voltage (~3.2 V), much flatter OCV
+// across the SoC window, lower energy density but a higher safe-temperature
+// limit and slower Arrhenius aging (higher activation energy).
+func LFP26650() CellParams {
+	return CellParams{
+		CapacityAh: 3.3,
+		// Flat plateau near 3.28 V with a steep knee below ~10 % SoC.
+		V:            [7]float64{-0.82, -28, 0, 0.045, -0.035, 0.065, 3.26},
+		R:            [3]float64{0.0300, -22, 0.0150},
+		Kr:           1200,
+		RefTemp:      units.CToK(25),
+		DVocDT:       2e-4,
+		HeatCapacity: 78, // ≈85 g × 0.92 J/(g·K)
+		L:            [3]float64{30000.0, 63000, 1.10},
+		MinSoC:       0.20,
+		MaxSoC:       1.00,
+		SafeTemp:     units.CToK(45),
+		MaxCurrent:   20,
+	}
+}

@@ -1,0 +1,140 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// RCPair is one parallel resistor–capacitor branch of a Thevenin battery
+// model, capturing the diffusion-driven transient voltage relaxation the
+// quasi-static model (Pack) omits. The paper notes that "a more detailed
+// battery electrical model … will not contradict our methodology";
+// TransientPack exists to check that claim quantitatively.
+type RCPair struct {
+	// R is the branch resistance in ohms (cell level).
+	R float64
+	// C is the branch capacitance in farads (cell level).
+	C float64
+}
+
+// DefaultRCPair returns a diffusion branch typical of 18650-class cells:
+// a ~30 s relaxation constant with a polarisation resistance comparable to
+// half the ohmic resistance.
+func DefaultRCPair() RCPair { return RCPair{R: 0.012, C: 2500} }
+
+// Validate reports an error for non-physical parameters.
+func (rc RCPair) Validate() error {
+	if rc.R <= 0 || rc.C <= 0 {
+		return fmt.Errorf("battery: RC pair (%g Ω, %g F) must be positive", rc.R, rc.C)
+	}
+	return nil
+}
+
+// Tau returns the branch time constant R·C in seconds.
+func (rc RCPair) Tau() float64 { return rc.R * rc.C }
+
+// TransientPack augments Pack with one RC polarisation branch per cell:
+//
+//	V_term = OCV(z) − V_rc − I·R₀(z,T)
+//	dV_rc/dt = I_cell/C − V_rc/(R·C)
+//
+// The polarisation voltage V_rc is shared by all cells (identical cells,
+// lumped model), expressed at cell level.
+type TransientPack struct {
+	// Pack is the underlying quasi-static pack (SoC, temperature, aging).
+	*Pack
+	// RC is the polarisation branch.
+	RC RCPair
+	// Vrc is the cell-level polarisation voltage, volts.
+	Vrc float64
+}
+
+// NewTransientPack wraps a pack with a polarisation branch.
+func NewTransientPack(pack *Pack, rc RCPair) (*TransientPack, error) {
+	if pack == nil {
+		return nil, fmt.Errorf("battery: nil pack")
+	}
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	return &TransientPack{Pack: pack, RC: rc}, nil
+}
+
+// TerminalVoltage returns the pack terminal voltage at the given pack
+// current, including the polarisation drop.
+func (tp *TransientPack) TerminalVoltage(packCurrent float64) float64 {
+	cellI := packCurrent / float64(tp.Parallel)
+	v := tp.Cell.TerminalVoltage(cellI, tp.SoC, tp.Temp) - tp.Vrc
+	return v * float64(tp.Series)
+}
+
+// Step draws the terminal power (watts, discharge positive) for dt seconds,
+// advancing SoC, aging and the polarisation state. The effective
+// open-circuit voltage seen by the quadratic power solve is OCV − V_rc.
+func (tp *TransientPack) Step(power, dt float64) (StepResult, error) {
+	if dt <= 0 {
+		return StepResult{}, fmt.Errorf("battery: non-positive dt %g", dt)
+	}
+	voc := tp.OCV() - tp.Vrc*float64(tp.Series)
+	r := tp.Resistance()
+	disc := voc*voc - 4*r*power
+	if disc < 0 {
+		return StepResult{}, fmt.Errorf("%w: %.0f W (transient)", ErrPowerInfeasible, power)
+	}
+	i := (voc - math.Sqrt(disc)) / (2 * r)
+
+	// Advance the polarisation branch (backward Euler, unconditionally
+	// stable): V⁺ = (V + dt·I_cell/C) / (1 + dt/(R·C)).
+	cellI := i / float64(tp.Parallel)
+	tp.Vrc = (tp.Vrc + dt*cellI/tp.RC.C) / (1 + dt/tp.RC.Tau())
+
+	res := tp.stepWithCurrent(i, dt)
+	// Correct the terminal voltage and heat for the polarisation drop: the
+	// RC branch dissipates V_rc²/R per cell.
+	res.TerminalVoltage -= tp.Vrc * float64(tp.Series)
+	rcHeat := tp.Vrc * tp.Vrc / tp.RC.R * float64(tp.CellCount())
+	res.HeatRate += rcHeat
+	return res, nil
+}
+
+// RelaxationError runs both models over the same power profile and returns
+// the RMS relative difference of the drawn chemical energy — the
+// quantitative check that the quasi-static simplification holds for
+// control purposes.
+func RelaxationError(cell CellParams, series, parallel int, rc RCPair, profile []float64, dt float64) (float64, error) {
+	staticPack, err := NewPack(cell, series, parallel, 0.9, units.CToK(25))
+	if err != nil {
+		return 0, err
+	}
+	base, err := NewPack(cell, series, parallel, 0.9, units.CToK(25))
+	if err != nil {
+		return 0, err
+	}
+	transient, err := NewTransientPack(base, rc)
+	if err != nil {
+		return 0, err
+	}
+	var sumSq float64
+	var n int
+	for _, p := range profile {
+		rs, err := staticPack.Step(p, dt)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := transient.Step(p, dt)
+		if err != nil {
+			return 0, err
+		}
+		if rs.ChemicalEnergy != 0 {
+			d := (rt.ChemicalEnergy - rs.ChemicalEnergy) / math.Abs(rs.ChemicalEnergy)
+			sumSq += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(sumSq / float64(n)), nil
+}

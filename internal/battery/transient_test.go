@@ -1,0 +1,148 @@
+package battery
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func newTransient(t *testing.T) *TransientPack {
+	t.Helper()
+	pack, err := NewPack(NCR18650A(), 96, 24, 0.9, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := NewTransientPack(pack, DefaultRCPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestRCPairValidate(t *testing.T) {
+	if err := DefaultRCPair().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (RCPair{R: 0, C: 100}).Validate() == nil {
+		t.Error("zero R accepted")
+	}
+	if (RCPair{R: 0.01, C: -1}).Validate() == nil {
+		t.Error("negative C accepted")
+	}
+	if got := (RCPair{R: 0.01, C: 3000}).Tau(); math.Abs(got-30) > 1e-12 {
+		t.Errorf("Tau = %v, want 30", got)
+	}
+}
+
+func TestNewTransientPackValidation(t *testing.T) {
+	if _, err := NewTransientPack(nil, DefaultRCPair()); err == nil {
+		t.Error("nil pack accepted")
+	}
+	pack, _ := NewPack(NCR18650A(), 96, 24, 0.9, 298)
+	if _, err := NewTransientPack(pack, RCPair{}); err == nil {
+		t.Error("invalid RC accepted")
+	}
+}
+
+func TestPolarisationBuildsAndRelaxes(t *testing.T) {
+	tp := newTransient(t)
+	// Sustained discharge builds polarisation voltage.
+	for i := 0; i < 120; i++ {
+		if _, err := tp.Step(40e3, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	built := tp.Vrc
+	if built <= 0 {
+		t.Fatalf("polarisation did not build: %v", built)
+	}
+	// Rest relaxes it toward zero with time constant τ≈30 s.
+	for i := 0; i < 90; i++ {
+		if _, err := tp.Step(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tp.Vrc >= built*0.1 {
+		t.Errorf("polarisation did not relax after 3τ: %v of %v", tp.Vrc, built)
+	}
+}
+
+func TestTransientVoltageSagsBelowStatic(t *testing.T) {
+	tp := newTransient(t)
+	static, _ := NewPack(NCR18650A(), 96, 24, 0.9, units.CToK(25))
+	var vT, vS float64
+	for i := 0; i < 60; i++ {
+		rt, err := tp.Step(50e3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := static.Step(50e3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vT, vS = rt.TerminalVoltage, rs.TerminalVoltage
+	}
+	if vT >= vS {
+		t.Errorf("transient terminal voltage %v should sag below static %v under load", vT, vS)
+	}
+}
+
+func TestTransientHeatIncludesPolarisationLoss(t *testing.T) {
+	tp := newTransient(t)
+	// Warm up the branch.
+	for i := 0; i < 120; i++ {
+		if _, err := tp.Step(40e3, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	static, _ := NewPack(NCR18650A(), 96, 24, tp.SoC, units.CToK(25))
+	rt, err := tp.Step(40e3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := static.Step(40e3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.HeatRate <= rs.HeatRate {
+		t.Errorf("transient heat %v should exceed static %v (RC dissipation)", rt.HeatRate, rs.HeatRate)
+	}
+}
+
+func TestTransientStepRejectsBadInput(t *testing.T) {
+	tp := newTransient(t)
+	if _, err := tp.Step(1e3, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := tp.Step(1e9, 1); err == nil {
+		t.Error("infeasible power accepted")
+	}
+}
+
+func TestRelaxationErrorSmall(t *testing.T) {
+	// The paper's claim: the quasi-static simplification does not change
+	// the energy accounting materially. On a pulsed drive-like profile the
+	// RMS relative difference in per-step chemical energy must be small.
+	profile := make([]float64, 600)
+	for i := range profile {
+		switch {
+		case i%60 < 10:
+			profile[i] = 70e3
+		case i%60 < 40:
+			profile[i] = 15e3
+		default:
+			profile[i] = -10e3
+		}
+	}
+	rmse, err := RelaxationError(NCR18650A(), 96, 24, DefaultRCPair(), profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse <= 0 {
+		t.Error("models identical — transient branch inert?")
+	}
+	if rmse > 0.05 {
+		t.Errorf("quasi-static error %.4f exceeds 5%% — simplification claim violated", rmse)
+	}
+}

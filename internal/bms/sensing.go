@@ -1,0 +1,71 @@
+package bms
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// SensedController wraps a controller so its decisions are made from the
+// EKF-estimated state of charge rather than the simulator's oracle value —
+// closing the sensing loop the paper's evaluation leaves open. At each step
+// the wrapper synthesises the measurements a real BMS would have (pack
+// current from the present request, terminal voltage with sensor noise),
+// updates the estimator, and presents the controller with a plant view
+// whose battery SoC is the estimate.
+type SensedController struct {
+	// Inner is the wrapped controller.
+	Inner sim.Controller
+	// Est is the state estimator, updated once per step.
+	Est *SoCEstimator
+	// VoltageNoise is the terminal-voltage sensor noise σ, volts.
+	VoltageNoise float64
+
+	rng *rand.Rand
+	// scratch plant view (shallow copy with a cloned battery).
+	view sim.Plant
+}
+
+// NewSensedController wraps inner with the estimator and a deterministic
+// (seeded) voltage-sensor noise source.
+func NewSensedController(inner sim.Controller, est *SoCEstimator, voltageNoise float64, seed int64) *SensedController {
+	return &SensedController{
+		Inner:        inner,
+		Est:          est,
+		VoltageNoise: voltageNoise,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements sim.Controller.
+func (s *SensedController) Name() string {
+	return fmt.Sprintf("%s[ekf]", s.Inner.Name())
+}
+
+// Decide implements sim.Controller.
+func (s *SensedController) Decide(p *sim.Plant, forecast []float64) sim.Action {
+	b := p.HEES.Battery
+	// Synthesise the measurable quantities: approximate pack current from
+	// the present request at the nominal voltage, and the terminal voltage
+	// from the true state plus sensor noise.
+	voc := b.OCV()
+	i := 0.0
+	if voc > 0 {
+		i = forecast[0] / voc
+	}
+	vTrue := voc - i*b.Resistance()
+	vMeas := vTrue + s.VoltageNoise*s.rng.NormFloat64()
+	s.Est.Step(i, vMeas, p.Loop.BatteryTemp, p.DT)
+
+	// Present the controller with the estimated state.
+	s.view = *p
+	estBattery := *b
+	estBattery.SoC = s.Est.SoC
+	estHEES := *p.HEES
+	estHEES.Battery = &estBattery
+	s.view.HEES = &estHEES
+	return s.Inner.Decide(&s.view, forecast)
+}
+
+var _ sim.Controller = (*SensedController)(nil)

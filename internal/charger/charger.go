@@ -1,0 +1,132 @@
+// Package charger models the CC-CV charging protocol that refills the pack
+// between routes: constant current until the per-cell voltage limit, then
+// constant voltage with tapering current until the cutoff. Charging
+// stresses the battery too (Eq. 5 integrates |I| regardless of sign), so
+// lifetime projections that ignore it overestimate battery life — this
+// package closes that gap.
+package charger
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/cooling"
+)
+
+// Params describes the charger.
+type Params struct {
+	// CRate is the constant-current phase rate in 1/h (0.5 = half the
+	// pack's amp-hour rating).
+	CRate float64
+	// VmaxPerCell is the per-cell voltage ceiling, volts. The equivalent-
+	// circuit OCV fit used by the battery model tops out near 4.10 V at full charge, so
+	// the matching CV threshold is slightly below the datasheet's 4.2 V.
+	VmaxPerCell float64
+	// CutoffCRate ends the constant-voltage taper, in 1/h.
+	CutoffCRate float64
+	// Efficiency is the wall-to-pack conversion efficiency in (0, 1].
+	Efficiency float64
+	// MaxDuration bounds a charge session, seconds.
+	MaxDuration float64
+}
+
+// Default returns a typical home AC charger (0.5 C, C/20 cutoff).
+func Default() Params {
+	return Params{
+		CRate:       0.5,
+		VmaxPerCell: 4.09,
+		CutoffCRate: 0.05,
+		Efficiency:  0.92,
+		MaxDuration: 8 * 3600,
+	}
+}
+
+// Validate reports an error for inconsistent parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.CRate <= 0:
+		return fmt.Errorf("charger: CRate = %g, must be > 0", p.CRate)
+	case p.VmaxPerCell <= 0:
+		return fmt.Errorf("charger: VmaxPerCell = %g, must be > 0", p.VmaxPerCell)
+	case p.CutoffCRate <= 0 || p.CutoffCRate >= p.CRate:
+		return fmt.Errorf("charger: CutoffCRate = %g, must be in (0, CRate)", p.CutoffCRate)
+	case p.Efficiency <= 0 || p.Efficiency > 1:
+		return fmt.Errorf("charger: Efficiency = %g, must be in (0, 1]", p.Efficiency)
+	case p.MaxDuration <= 0:
+		return fmt.Errorf("charger: MaxDuration = %g, must be > 0", p.MaxDuration)
+	}
+	return nil
+}
+
+// Result summarises one charging session.
+type Result struct {
+	// Duration is the session length, seconds.
+	Duration float64
+	// WallEnergyJ is the energy drawn from the grid, joules.
+	WallEnergyJ float64
+	// AgingPct is the capacity loss accumulated while charging.
+	AgingPct float64
+	// PeakTempK is the highest battery temperature reached.
+	PeakTempK float64
+	// FinalSoC is the state of charge at the end.
+	FinalSoC float64
+	// CVPhase reports whether the constant-voltage taper was reached.
+	CVPhase bool
+}
+
+// Charge refills the pack to targetSoC with the CC-CV protocol, advancing
+// the passive thermal loop (the car is parked; the pump is off) at the
+// given ambient. The pack and loop are mutated in place.
+func Charge(pack *battery.Pack, loop *cooling.Loop, p Params, targetSoC, ambient float64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if pack == nil || loop == nil {
+		return Result{}, errors.New("charger: nil pack or loop")
+	}
+	if targetSoC <= pack.SoC {
+		return Result{FinalSoC: pack.SoC, PeakTempK: loop.BatteryTemp}, nil
+	}
+	if targetSoC > 1 {
+		return Result{}, fmt.Errorf("charger: target SoC %g > 1", targetSoC)
+	}
+
+	const dt = 10.0 // charging dynamics are slow; 10 s steps suffice
+	iCC := p.CRate * pack.CapacityAh()
+	iCutoff := p.CutoffCRate * pack.CapacityAh()
+	vMax := p.VmaxPerCell * float64(pack.Series)
+
+	var out Result
+	out.PeakTempK = loop.BatteryTemp
+	for out.Duration < p.MaxDuration && pack.SoC < targetSoC {
+		pack.Temp = loop.BatteryTemp
+		// Pick the phase: CC until the terminal voltage would exceed vMax.
+		i := -iCC // charging current (negative by pack convention)
+		if vTerm := pack.OCV() - i*pack.Resistance(); vTerm >= vMax {
+			// CV: hold the terminal at vMax → I = (Voc − Vmax)/R (< 0).
+			i = (pack.OCV() - vMax) / pack.Resistance()
+			out.CVPhase = true
+			if -i < iCutoff {
+				break
+			}
+		}
+		res, err := pack.StepCurrent(i, dt)
+		if err != nil {
+			return out, err
+		}
+		if _, err := loop.StepPassive(res.HeatRate, ambient, dt); err != nil {
+			return out, err
+		}
+		out.Duration += dt
+		out.AgingPct += res.AgingPct
+		// Wall energy: the pack absorbs |chemical energy|; the charger adds
+		// its conversion loss.
+		out.WallEnergyJ += -res.ChemicalEnergy / p.Efficiency
+		if loop.BatteryTemp > out.PeakTempK {
+			out.PeakTempK = loop.BatteryTemp
+		}
+	}
+	out.FinalSoC = pack.SoC
+	return out, nil
+}

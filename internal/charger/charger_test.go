@@ -1,0 +1,175 @@
+package charger
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/cooling"
+	"repro/internal/units"
+)
+
+func setup(t *testing.T, soc float64) (*battery.Pack, *cooling.Loop) {
+	t.Helper()
+	pack, err := battery.NewPack(battery.NCR18650A(), 96, 24, soc, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := cooling.NewLoop(cooling.DefaultParams(), units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pack, loop
+}
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero c-rate", func(p *Params) { p.CRate = 0 }},
+		{"zero vmax", func(p *Params) { p.VmaxPerCell = 0 }},
+		{"cutoff above c-rate", func(p *Params) { p.CutoffCRate = 1 }},
+		{"efficiency > 1", func(p *Params) { p.Efficiency = 1.1 }},
+		{"zero duration", func(p *Params) { p.MaxDuration = 0 }},
+	}
+	for _, m := range mutations {
+		p := Default()
+		m.mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestChargeReachesTarget(t *testing.T) {
+	pack, loop := setup(t, 0.4)
+	res, err := Charge(pack, loop, Default(), 0.95, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pack.SoC-0.95) > 0.01 {
+		t.Errorf("final SoC = %v, want ≈0.95", pack.SoC)
+	}
+	if res.FinalSoC != pack.SoC {
+		t.Error("result SoC mismatch")
+	}
+	// 0.55 of a 27 kWh pack at 92 % efficiency ≈ 57 MJ wall.
+	wantWall := 0.55 * 97e6 / 0.92
+	if res.WallEnergyJ < wantWall*0.85 || res.WallEnergyJ > wantWall*1.25 {
+		t.Errorf("wall energy = %.1f MJ, want ≈%.1f MJ", res.WallEnergyJ/1e6, wantWall/1e6)
+	}
+	// At 0.5 C the session takes roughly 1.1–2 h.
+	if res.Duration < 3000 || res.Duration > 8000 {
+		t.Errorf("duration = %v s", res.Duration)
+	}
+	if res.AgingPct <= 0 {
+		t.Error("charging must age the battery")
+	}
+	// Endothermic charging: the pack must not have heated.
+	if res.PeakTempK > units.CToK(25)+0.1 {
+		t.Errorf("0.5 C charging heated the pack to %v", res.PeakTempK)
+	}
+}
+
+func TestChargeEntersCVPhaseNearFull(t *testing.T) {
+	pack, loop := setup(t, 0.9)
+	res, err := Charge(pack, loop, Default(), 1.0, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CVPhase {
+		t.Error("charging to full must reach the constant-voltage taper")
+	}
+	// The taper cuts off before literally 100 %.
+	if pack.SoC < 0.95 {
+		t.Errorf("final SoC = %v, want near full", pack.SoC)
+	}
+}
+
+func TestChargeNoopWhenAboveTarget(t *testing.T) {
+	pack, loop := setup(t, 0.8)
+	res, err := Charge(pack, loop, Default(), 0.5, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 0 || res.WallEnergyJ != 0 {
+		t.Errorf("no-op charge did work: %+v", res)
+	}
+	if pack.SoC != 0.8 {
+		t.Error("pack mutated")
+	}
+}
+
+func TestChargeValidation(t *testing.T) {
+	pack, loop := setup(t, 0.5)
+	if _, err := Charge(nil, loop, Default(), 0.9, 298); err == nil {
+		t.Error("nil pack accepted")
+	}
+	if _, err := Charge(pack, nil, Default(), 0.9, 298); err == nil {
+		t.Error("nil loop accepted")
+	}
+	if _, err := Charge(pack, loop, Default(), 1.5, 298); err == nil {
+		t.Error("target > 1 accepted")
+	}
+	bad := Default()
+	bad.CRate = -1
+	if _, err := Charge(pack, loop, bad, 0.9, 298); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestFasterChargeAgesMore(t *testing.T) {
+	slow := Default()
+	slow.CRate = 0.3
+	fast := Default()
+	fast.CRate = 2.0
+
+	packS, loopS := setup(t, 0.3)
+	resS, err := Charge(packS, loopS, slow, 0.9, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packF, loopF := setup(t, 0.3)
+	resF, err := Charge(packF, loopF, fast, 0.9, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resF.Duration >= resS.Duration {
+		t.Error("fast charge should be quicker")
+	}
+	if resF.AgingPct <= resS.AgingPct {
+		t.Errorf("fast charge aging %v should exceed slow %v", resF.AgingPct, resS.AgingPct)
+	}
+	// With the positive entropy coefficient, moderate-rate charging is net
+	// endothermic (the Joule term only dominates above ≈3 C), so neither
+	// session heats the pack above its starting temperature.
+	if resF.PeakTempK > units.CToK(25)+0.1 || resS.PeakTempK > units.CToK(25)+0.1 {
+		t.Errorf("sub-3C charging should not heat the pack: fast %v, slow %v",
+			resF.PeakTempK, resS.PeakTempK)
+	}
+}
+
+func TestChargeRespectsMaxDuration(t *testing.T) {
+	p := Default()
+	p.CRate = 0.05001 // barely above the cutoff — glacial
+	p.CutoffCRate = 0.05
+	p.MaxDuration = 600
+	pack, loop := setup(t, 0.2)
+	res, err := Charge(pack, loop, p, 1.0, units.CToK(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration > 600 {
+		t.Errorf("duration %v exceeded MaxDuration", res.Duration)
+	}
+	if pack.SoC >= 1.0 {
+		t.Error("glacial charge cannot have finished")
+	}
+}

@@ -1,0 +1,179 @@
+// Package chart renders time series as ASCII line charts for the terminal —
+// the experiment commands use it so the paper's *figures* come out as
+// figures, not just tables. It is deliberately small: fixed-size canvas,
+// multiple labelled series, automatic y-scaling, step downsampling.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	// Label appears in the legend.
+	Label string
+	// Y holds the sample values (all series share the same x spacing).
+	Y []float64
+}
+
+// Chart is a fixed-size ASCII canvas.
+type Chart struct {
+	// Title is printed above the canvas.
+	Title string
+	// Width and Height are the canvas size in characters (defaults 72×16).
+	Width, Height int
+	// YLabel annotates the axis (e.g. "°C").
+	YLabel string
+	// XLabel annotates the x axis (e.g. "time (s)").
+	XLabel string
+	// XMax is the x value of the last sample (for axis annotation).
+	XMax float64
+	// HLine draws an optional horizontal reference line at this y value.
+	HLine *float64
+
+	series []Series
+}
+
+// markers cycles through per-series point characters.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// New returns a chart with the default canvas size.
+func New(title string) *Chart {
+	return &Chart{Title: title, Width: 72, Height: 16}
+}
+
+// Add appends a series. All series should have equal length; shorter ones
+// simply end early.
+func (c *Chart) Add(label string, y []float64) *Chart {
+	c.series = append(c.series, Series{Label: label, Y: y})
+	return c
+}
+
+// WithHLine sets a horizontal reference (e.g. the 40 °C safe limit).
+func (c *Chart) WithHLine(y float64) *Chart {
+	c.HLine = &y
+	return c
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi, any := c.bounds()
+	if !any {
+		fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return
+	}
+	if c.HLine != nil {
+		lo = math.Min(lo, *c.HLine)
+		hi = math.Max(hi, *c.HLine)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// A little headroom so lines do not hug the frame.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(y float64) int {
+		r := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	if c.HLine != nil {
+		r := row(*c.HLine)
+		for x := 0; x < width; x++ {
+			grid[r][x] = '-'
+		}
+	}
+	maxLen := 0
+	for _, s := range c.series {
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		for x := 0; x < width; x++ {
+			// Downsample: average the bucket of samples mapping to column x.
+			loIdx := x * maxLen / width
+			hiIdx := (x + 1) * maxLen / width
+			if hiIdx <= loIdx {
+				hiIdx = loIdx + 1
+			}
+			var sum float64
+			var n int
+			for i := loIdx; i < hiIdx && i < len(s.Y); i++ {
+				sum += s.Y[i]
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			grid[row(sum/float64(n))][x] = m
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	for r := 0; r < height; r++ {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%9.2f |%s\n", yVal, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", width))
+	if c.XLabel != "" || c.XMax > 0 {
+		fmt.Fprintf(w, "%9s  0%s%.0f %s\n", "",
+			strings.Repeat(" ", max(1, width-len(fmt.Sprintf("%.0f", c.XMax))-2)), c.XMax, c.XLabel)
+	}
+	// Legend.
+	var legend []string
+	for si, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	if c.YLabel != "" {
+		legend = append(legend, "y: "+c.YLabel)
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "%9s  %s\n", "", strings.Join(legend, "   "))
+	}
+}
+
+func (c *Chart) bounds() (lo, hi float64, any bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+			any = true
+		}
+	}
+	return lo, hi, any
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(c *Chart) string {
+	var sb strings.Builder
+	c.Render(&sb)
+	return sb.String()
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(New("empty"))
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output:\n%s", out)
+	}
+}
+
+func TestRenderSingleSeries(t *testing.T) {
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = math.Sin(float64(i) / 10)
+	}
+	c := New("sine")
+	c.YLabel = "amplitude"
+	c.XLabel = "t"
+	c.XMax = 100
+	c.Add("wave", y)
+	out := render(c)
+	if !strings.Contains(out, "sine") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* wave") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "amplitude") {
+		t.Error("y label missing")
+	}
+	if strings.Count(out, "\n") < 16 {
+		t.Error("canvas too short")
+	}
+	// The axis spans the sine's extremes plus 5 % padding.
+	if !strings.Contains(out, "1.10") || !strings.Contains(out, "-1.10") {
+		t.Errorf("y axis not scaled to data:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := New("two")
+	c.Add("a", []float64{0, 1, 2})
+	c.Add("b", []float64{2, 1, 0})
+	out := render(c)
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legend markers wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series markers missing from canvas")
+	}
+}
+
+func TestRenderHLine(t *testing.T) {
+	c := New("limit")
+	c.Add("temp", []float64{30, 32, 35, 38})
+	c.WithHLine(40)
+	out := render(c)
+	if !strings.Contains(out, "----") {
+		t.Error("reference line missing")
+	}
+	// The hline must stretch the y range to include 40.
+	if !strings.Contains(out, "40") {
+		t.Errorf("y axis does not include the reference:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := New("flat")
+	c.Add("const", []float64{5, 5, 5, 5})
+	out := render(c)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderNaNSkipped(t *testing.T) {
+	c := New("nan")
+	c.Add("x", []float64{1, math.NaN(), 3})
+	out := render(c)
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN leaked into output")
+	}
+}
+
+func TestRenderTinyCanvasClamped(t *testing.T) {
+	c := New("tiny")
+	c.Width = 1
+	c.Height = 1
+	c.Add("x", []float64{1, 2, 3})
+	out := render(c)
+	if out == "" {
+		t.Error("no output for tiny canvas")
+	}
+}
+
+func TestDownsamplingLongSeries(t *testing.T) {
+	y := make([]float64, 10000)
+	for i := range y {
+		y[i] = float64(i % 100)
+	}
+	c := New("long")
+	c.Add("saw", y)
+	out := render(c)
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if len(l) > 90 {
+			t.Fatalf("line too long (%d): %q", len(l), l)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package converter models the DC/DC converters of the hybrid HEES
+// architecture (paper §II-C): each storage is coupled to the DC bus through
+// a converter whose efficiency η_DC degrades as the storage-side voltage
+// drops — the key reason overusing the ultracapacitor (deep SoE swings)
+// costs energy, which the OTEM controller must weigh.
+//
+// Power flows are expressed at the bus side, discharge positive: a positive
+// bus power means the storage delivers power to the bus.
+package converter
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Params describes one DC/DC converter.
+type Params struct {
+	// PeakEfficiency is the conversion efficiency at (or above) the nominal
+	// input voltage, in (0, 1].
+	PeakEfficiency float64
+	// MinEfficiency floors the efficiency at deep voltage sag, in (0, 1].
+	MinEfficiency float64
+	// NominalVoltage is the storage-side voltage at which the converter is
+	// most efficient, in volts.
+	NominalVoltage float64
+	// Droop is the efficiency lost per unit of relative voltage sag: at
+	// storage voltage V, η = PeakEfficiency − Droop·(1 − V/NominalVoltage),
+	// clamped to [MinEfficiency, PeakEfficiency].
+	Droop float64
+	// IdleLoss is a constant housekeeping loss in watts drawn whenever the
+	// converter is enabled, independent of transferred power.
+	IdleLoss float64
+}
+
+// Default returns a converter typical of automotive HEES designs
+// (Choi/Chang-style voltage-aware efficiency model, peak 97 %).
+func Default(nominalVoltage float64) Params {
+	return Params{
+		PeakEfficiency: 0.97,
+		MinEfficiency:  0.80,
+		NominalVoltage: nominalVoltage,
+		Droop:          0.25,
+		IdleLoss:       0,
+	}
+}
+
+// Validate reports an error for inconsistent parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.PeakEfficiency <= 0 || p.PeakEfficiency > 1:
+		return fmt.Errorf("converter: PeakEfficiency = %g, must be in (0, 1]", p.PeakEfficiency)
+	case p.MinEfficiency <= 0 || p.MinEfficiency > p.PeakEfficiency:
+		return fmt.Errorf("converter: MinEfficiency = %g, must be in (0, PeakEfficiency]", p.MinEfficiency)
+	case p.NominalVoltage <= 0:
+		return fmt.Errorf("converter: NominalVoltage = %g, must be > 0", p.NominalVoltage)
+	case p.Droop < 0:
+		return fmt.Errorf("converter: Droop = %g, must be >= 0", p.Droop)
+	case p.IdleLoss < 0:
+		return fmt.Errorf("converter: IdleLoss = %g, must be >= 0", p.IdleLoss)
+	}
+	return nil
+}
+
+// Efficiency returns η_DC at the given storage-side voltage.
+func (p Params) Efficiency(storageVoltage float64) float64 {
+	sag := 1 - storageVoltage/p.NominalVoltage
+	if sag < 0 {
+		sag = 0
+	}
+	return units.Clamp(p.PeakEfficiency-p.Droop*sag, p.MinEfficiency, p.PeakEfficiency)
+}
+
+// StoragePower converts a bus-side power request into the power that must be
+// drawn from (or pushed into) the storage, at the given storage voltage:
+//
+//	busPower > 0 (discharge): storage supplies busPower/η — the storage
+//	works harder than the bus sees.
+//	busPower < 0 (charge): storage receives busPower·η — some of the bus
+//	energy is lost before it reaches the storage.
+//
+// The idle loss is charged to the storage side.
+func (p Params) StoragePower(busPower, storageVoltage float64) float64 {
+	eta := p.Efficiency(storageVoltage)
+	var sp float64
+	if busPower >= 0 {
+		sp = busPower / eta
+	} else {
+		sp = busPower * eta
+	}
+	return sp + p.IdleLoss
+}
+
+// BusPower is the inverse view: given a storage-side power (discharge
+// positive), the power seen at the bus.
+func (p Params) BusPower(storagePower, storageVoltage float64) float64 {
+	eta := p.Efficiency(storageVoltage)
+	storagePower -= p.IdleLoss
+	if storagePower >= 0 {
+		return storagePower * eta
+	}
+	return storagePower / eta
+}
+
+// Loss returns the power dissipated in the converter for a bus-side power at
+// the given storage voltage, in watts (always ≥ 0 for IdleLoss ≥ 0).
+//
+// In both directions the dissipation is storagePower − busPower: when
+// discharging the storage supplies more than the bus receives; when charging
+// the storage receives less (a smaller negative) than the bus supplies.
+func (p Params) Loss(busPower, storageVoltage float64) float64 {
+	return p.StoragePower(busPower, storageVoltage) - busPower
+}

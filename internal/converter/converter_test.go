@@ -1,0 +1,140 @@
+package converter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default(390).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"efficiency > 1", func(p *Params) { p.PeakEfficiency = 1.1 }},
+		{"zero efficiency", func(p *Params) { p.PeakEfficiency = 0 }},
+		{"min above peak", func(p *Params) { p.MinEfficiency = 0.99 }},
+		{"zero nominal voltage", func(p *Params) { p.NominalVoltage = 0 }},
+		{"negative droop", func(p *Params) { p.Droop = -1 }},
+		{"negative idle loss", func(p *Params) { p.IdleLoss = -1 }},
+	}
+	for _, m := range mutations {
+		p := Default(390)
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestEfficiencyDroopsWithVoltage(t *testing.T) {
+	p := Default(390)
+	atNom := p.Efficiency(390)
+	if atNom != p.PeakEfficiency {
+		t.Errorf("Efficiency at nominal = %v, want %v", atNom, p.PeakEfficiency)
+	}
+	// Above nominal: no bonus.
+	if p.Efficiency(450) != p.PeakEfficiency {
+		t.Error("efficiency should cap at peak above nominal voltage")
+	}
+	half := p.Efficiency(195) // 50 % sag → 0.97 − 0.25·0.5 = 0.845
+	if math.Abs(half-0.845) > 1e-12 {
+		t.Errorf("Efficiency at half voltage = %v, want 0.845", half)
+	}
+	// Deep sag floors at MinEfficiency.
+	if got := p.Efficiency(10); got != p.MinEfficiency {
+		t.Errorf("Efficiency at deep sag = %v, want floor %v", got, p.MinEfficiency)
+	}
+}
+
+func TestStoragePowerDischarge(t *testing.T) {
+	p := Default(390)
+	sp := p.StoragePower(97e3, 390)
+	if math.Abs(sp-1e5) > 1e-6 {
+		t.Errorf("StoragePower(97 kW) = %v, want 100 kW", sp)
+	}
+}
+
+func TestStoragePowerCharge(t *testing.T) {
+	p := Default(390)
+	sp := p.StoragePower(-100e3, 390)
+	if math.Abs(sp-(-97e3)) > 1e-6 {
+		t.Errorf("StoragePower(-100 kW) = %v, want -97 kW", sp)
+	}
+}
+
+func TestBusPowerInverse(t *testing.T) {
+	p := Default(390)
+	f := func(busKW, v float64) bool {
+		bus := math.Mod(busKW, 100) * 1e3
+		volt := 100 + math.Abs(math.Mod(v, 300))
+		if math.IsNaN(bus) || math.IsNaN(volt) {
+			return true
+		}
+		sp := p.StoragePower(bus, volt)
+		back := p.BusPower(sp, volt)
+		return math.Abs(back-bus) < 1e-6*(1+math.Abs(bus))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossNonNegative(t *testing.T) {
+	p := Default(390)
+	for _, bus := range []float64{-80e3, -1, 0, 1, 50e3} {
+		for _, v := range []float64{50.0, 200, 390, 500} {
+			if loss := p.Loss(bus, v); loss < 0 {
+				t.Errorf("Loss(%v, %v) = %v < 0", bus, v, loss)
+			}
+		}
+	}
+}
+
+func TestLossValueDischarge(t *testing.T) {
+	p := Default(390)
+	// 97 kW at bus needs 100 kW from storage → 3 kW loss.
+	if got := p.Loss(97e3, 390); math.Abs(got-3e3) > 1e-6 {
+		t.Errorf("Loss = %v, want 3 kW", got)
+	}
+}
+
+func TestLossValueCharge(t *testing.T) {
+	p := Default(390)
+	// Bus pushes 100 kW, storage receives 97 kW → 3 kW loss.
+	if got := p.Loss(-100e3, 390); math.Abs(got-3e3) > 1e-6 {
+		t.Errorf("Loss = %v, want 3 kW", got)
+	}
+}
+
+func TestIdleLossCharged(t *testing.T) {
+	p := Default(390)
+	p.IdleLoss = 50
+	if got := p.StoragePower(0, 390); got != 50 {
+		t.Errorf("StoragePower(0) with idle = %v, want 50", got)
+	}
+	if got := p.Loss(0, 390); got != 50 {
+		t.Errorf("Loss(0) with idle = %v, want 50", got)
+	}
+}
+
+func TestEfficiencyMonotoneInVoltage(t *testing.T) {
+	p := Default(390)
+	f := func(a, b float64) bool {
+		va, vb := math.Abs(math.Mod(a, 500)), math.Abs(math.Mod(b, 500))
+		if math.IsNaN(va) || math.IsNaN(vb) {
+			return true
+		}
+		lo, hi := math.Min(va, vb), math.Max(va, vb)
+		return p.Efficiency(lo) <= p.Efficiency(hi)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package cooling
+
+import "testing"
+
+func BenchmarkCNStep(b *testing.B) {
+	p := DefaultParams()
+	tb, tc := 305.0, 303.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, tc = p.CNStep2(tb, tc, 1500, -2000, 55, 298, 1)
+		if tb < 200 {
+			b.Fatal("diverged")
+		}
+	}
+}
+
+func BenchmarkLoopStepActive(b *testing.B) {
+	l, err := NewLoop(DefaultParams(), 305)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.StepActive(1500, 295, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func newLoop(t *testing.T, temp float64) *Loop {
+	t.Helper()
+	l, err := NewLoop(DefaultParams(), temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero battery capacity", func(p *Params) { p.BatteryHeatCapacity = 0 }},
+		{"zero coolant capacity", func(p *Params) { p.CoolantHeatCapacity = 0 }},
+		{"zero hbc", func(p *Params) { p.HBC = 0 }},
+		{"zero flow", func(p *Params) { p.FlowHeatRate = 0 }},
+		{"zero cooler efficiency", func(p *Params) { p.CoolerEfficiency = 0 }},
+		{"zero max cooler power", func(p *Params) { p.MaxCoolerPower = 0 }},
+		{"negative pump power", func(p *Params) { p.PumpPower = -1 }},
+		{"zero min inlet", func(p *Params) { p.MinInletTemp = 0 }},
+		{"negative ambient coupling", func(p *Params) { p.AmbientCoupling = -1 }},
+	}
+	for _, m := range mutations {
+		p := DefaultParams()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestNewLoopValidation(t *testing.T) {
+	if _, err := NewLoop(DefaultParams(), -5); err == nil {
+		t.Error("accepted negative temperature")
+	}
+	bad := DefaultParams()
+	bad.HBC = -1
+	if _, err := NewLoop(bad, 300); err == nil {
+		t.Error("accepted invalid params")
+	}
+}
+
+func TestHeatingWithoutCooling(t *testing.T) {
+	l := newLoop(t, units.CToK(25))
+	// 2 kW of battery heat with only weak ambient coupling: temperature
+	// must rise monotonically.
+	prev := l.BatteryTemp
+	for i := 0; i < 600; i++ {
+		if _, err := l.StepPassive(2000, units.CToK(25), 1); err != nil {
+			t.Fatal(err)
+		}
+		if l.BatteryTemp < prev-1e-9 {
+			t.Fatalf("temperature dropped while heating at step %d", i)
+		}
+		prev = l.BatteryTemp
+	}
+	if l.BatteryTemp < units.CToK(26) {
+		t.Errorf("after 600 s of 2 kW, T_b = %v °C, want noticeable rise", units.KToC(l.BatteryTemp))
+	}
+}
+
+func TestPassiveCoolsTowardAmbient(t *testing.T) {
+	l := newLoop(t, units.CToK(45))
+	ambient := units.CToK(25)
+	for i := 0; i < 3600; i++ {
+		if _, err := l.StepPassive(0, ambient, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.BatteryTemp < ambient-1e-6 {
+		t.Errorf("passive cooling undershot ambient: %v", units.KToC(l.BatteryTemp))
+	}
+	if l.BatteryTemp > units.CToK(45) {
+		t.Error("no cooling happened")
+	}
+}
+
+func TestActiveCoolingPullsTemperatureDown(t *testing.T) {
+	l := newLoop(t, units.CToK(40))
+	// Full cooling with no heat input.
+	for i := 0; i < 600; i++ {
+		if _, err := l.StepActive(0, l.MinFeasibleInlet(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.BatteryTemp > units.CToK(35) {
+		t.Errorf("active cooling too weak: T_b = %v °C after 10 min", units.KToC(l.BatteryTemp))
+	}
+}
+
+func TestActiveCoolingBeatsPassive(t *testing.T) {
+	qb := 1500.0
+	active := newLoop(t, units.CToK(30))
+	passive := newLoop(t, units.CToK(30))
+	for i := 0; i < 900; i++ {
+		if _, err := active.StepActive(qb, active.MinFeasibleInlet(), 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := passive.StepPassive(qb, units.CToK(25), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if active.BatteryTemp >= passive.BatteryTemp {
+		t.Errorf("active (%v) should be cooler than passive (%v)",
+			units.KToC(active.BatteryTemp), units.KToC(passive.BatteryTemp))
+	}
+}
+
+func TestCoolerPowerEquation16(t *testing.T) {
+	l := newLoop(t, units.CToK(35))
+	p := l.Params
+	ti := l.CoolantTemp - 5
+	want := p.FlowHeatRate / p.CoolerEfficiency * 5
+	if got := l.CoolerPowerFor(ti); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CoolerPowerFor = %v, want %v", got, want)
+	}
+	// C2: inlet above coolant temperature draws no cooler power.
+	if got := l.CoolerPowerFor(l.CoolantTemp + 5); got != 0 {
+		t.Errorf("cooler power for warm inlet = %v, want 0", got)
+	}
+}
+
+func TestStepActiveClampsToC3(t *testing.T) {
+	l := newLoop(t, units.CToK(35))
+	// Request an absurdly cold inlet; the applied inlet must respect the
+	// max cooler power.
+	res, err := l.StepActive(0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoolerPower > l.Params.MaxCoolerPower+1e-9 {
+		t.Errorf("cooler power %v exceeds C3 limit %v", res.CoolerPower, l.Params.MaxCoolerPower)
+	}
+	if res.InletTemp < l.Params.MinInletTemp {
+		t.Errorf("inlet temp %v below physical floor", res.InletTemp)
+	}
+}
+
+func TestStepActiveNoopWhenInletEqualsCoolant(t *testing.T) {
+	l := newLoop(t, units.CToK(30))
+	res, err := l.StepActive(0, l.CoolantTemp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoolerPower != 0 {
+		t.Errorf("cooler power = %v, want 0", res.CoolerPower)
+	}
+	if res.PumpPower != l.Params.PumpPower {
+		t.Errorf("pump power = %v, want %v", res.PumpPower, l.Params.PumpPower)
+	}
+	if math.Abs(l.BatteryTemp-units.CToK(30)) > 1e-9 {
+		t.Errorf("equilibrium disturbed: %v", l.BatteryTemp)
+	}
+}
+
+func TestStepRejectsBadDt(t *testing.T) {
+	l := newLoop(t, 300)
+	if _, err := l.StepActive(0, 295, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := l.StepPassive(0, 295, -1); err == nil {
+		t.Error("dt<0 accepted")
+	}
+}
+
+func TestEnergyBalanceSteadyState(t *testing.T) {
+	// Drive to steady state with constant heat and constant inlet; at
+	// steady state the heat removed by advection must equal the heat input:
+	// w·(T_c − T_i) = Q_b, and battery-coolant flux equals Q_b too.
+	l := newLoop(t, units.CToK(30))
+	qb := 1200.0
+	ti := units.CToK(20)
+	for i := 0; i < 100000; i++ {
+		if _, err := l.StepActive(qb, ti, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := l.Params
+	advected := p.FlowHeatRate * (l.CoolantTemp - ti)
+	if math.Abs(advected-qb) > qb*0.01 {
+		t.Errorf("steady-state advection %v, want %v", advected, qb)
+	}
+	conducted := p.HBC * (l.BatteryTemp - l.CoolantTemp)
+	if math.Abs(conducted-qb) > qb*0.01 {
+		t.Errorf("steady-state conduction %v, want %v", conducted, qb)
+	}
+}
+
+func TestCrankNicolsonStability(t *testing.T) {
+	// Even with a huge time step the CN scheme must stay bounded.
+	l := newLoop(t, units.CToK(30))
+	for i := 0; i < 50; i++ {
+		if _, err := l.StepActive(5000, units.CToK(10), 60); err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(l.BatteryTemp) || l.BatteryTemp < 200 || l.BatteryTemp > 400 {
+			t.Fatalf("unstable integration: T_b = %v", l.BatteryTemp)
+		}
+	}
+}
+
+func TestMinFeasibleInletRespectsBothLimits(t *testing.T) {
+	l := newLoop(t, units.CToK(30))
+	p := l.Params
+	byPower := l.CoolantTemp - p.CoolerEfficiency*p.MaxCoolerPower/p.FlowHeatRate
+	want := math.Max(byPower, p.MinInletTemp)
+	if got := l.MinFeasibleInlet(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinFeasibleInlet = %v, want %v", got, want)
+	}
+	// Power at the min feasible inlet must not exceed C3.
+	if pc := l.CoolerPowerFor(l.MinFeasibleInlet()); pc > p.MaxCoolerPower+1e-9 {
+		t.Errorf("power at min inlet %v exceeds C3 %v", pc, p.MaxCoolerPower)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	l := newLoop(t, 300)
+	c := l.Clone()
+	if _, err := c.StepActive(5000, 280, 10); err != nil {
+		t.Fatal(err)
+	}
+	if l.BatteryTemp != 300 || l.CoolantTemp != 300 {
+		t.Error("Clone mutation leaked")
+	}
+}
+
+func TestTemperatureOrderingUnderHeat(t *testing.T) {
+	// While the battery heats and the loop cools, T_b ≥ T_c must hold.
+	l := newLoop(t, units.CToK(25))
+	for i := 0; i < 1200; i++ {
+		if _, err := l.StepActive(3000, units.CToK(15), 1); err != nil {
+			t.Fatal(err)
+		}
+		if l.BatteryTemp < l.CoolantTemp-1e-9 {
+			t.Fatalf("coolant hotter than battery at step %d: %v < %v", i, l.BatteryTemp, l.CoolantTemp)
+		}
+	}
+}
+
+func TestPassiveEquilibriumProperty(t *testing.T) {
+	// Starting anywhere, with zero heat the passive loop converges towards
+	// ambient and never oscillates past it.
+	f := func(t0 float64) bool {
+		start := units.CToK(15 + math.Abs(math.Mod(t0, 40)))
+		l, err := NewLoop(DefaultParams(), start)
+		if err != nil {
+			return false
+		}
+		ambient := units.CToK(25)
+		for i := 0; i < 2000; i++ {
+			if _, err := l.StepPassive(0, ambient, 5); err != nil {
+				return false
+			}
+		}
+		// Must be between start and ambient (no overshoot).
+		lo, hi := math.Min(start, ambient), math.Max(start, ambient)
+		return l.BatteryTemp >= lo-1e-6 && l.BatteryTemp <= hi+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

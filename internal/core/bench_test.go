@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkObjective measures one single-shooting rollout of the MPC cost
+// (the hot inner loop of every replan).
+func BenchmarkObjective(b *testing.B) {
+	plant, err := sim.NewPlant(sim.PlantConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.roll.capture(plant, o.cfg)
+	for k := range o.fc {
+		o.fc[k] = 30e3
+	}
+	z := make([]float64, o.planner.Spec().Dim())
+	for i := range z {
+		z[i] = 0.3
+	}
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += o.objective(z)
+	}
+	_ = sink
+}
+
+// BenchmarkReplan measures one full horizon optimisation (warm-started).
+func BenchmarkReplan(b *testing.B) {
+	plant, err := sim.NewPlant(sim.PlantConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	forecast := make([]float64, o.cfg.Horizon)
+	for k := range forecast {
+		forecast[k] = 30e3
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.replan(plant, forecast)
+	}
+}

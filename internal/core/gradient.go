@@ -1,0 +1,484 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// This file implements the hand-derived reverse-mode (adjoint) gradient of
+// the single-shooting MPC objective. A numeric gradient needs 2·dim rollout
+// evaluations per gradient; the adjoint needs one taped forward pass and one
+// backward sweep (≈3× a rollout), cutting re-planning cost several-fold.
+// Correctness is pinned by TestAnalyticGradientMatchesNumeric, which
+// compares against central differences over random states and decisions.
+
+// stepTape records the intermediates of one forward step that the backward
+// sweep needs.
+type stepTape struct {
+	soc0, soe0, tb0, tc0 float64
+
+	capU, coolU float64
+	pcool, qx   float64
+
+	vcap        float64
+	vcapClamped bool // soe0 ≤ 1e-6 → d(vcap)/d(soe) = 0
+	sagBranch   bool // capMax came from the 0.97·v²/4R sag limit
+	capMax      float64
+	etaCapBus   float64 // η(vcap) used by BusPower for capMaxBus
+	etaCapBusP  bool    // derivative of that η w.r.t. v is nonzero
+	capMaxBus   float64
+	capClamped  bool // capBus = capMaxBus taken
+	capBus      float64
+	etaCapSto   float64 // η(vcap) used by StoragePower
+	etaCapStoP  bool
+	capStorage  float64
+	sCap        float64 // sqrt of the capacitor discriminant
+	capDiscZero bool
+	capI        float64
+	dEcap       float64
+	soePre      float64
+	soeClampHi  bool
+
+	voc, res     float64
+	battBus      float64
+	etaBatt      float64
+	etaBattP     bool
+	bsPre        float64 // battery storage power before the pmax clamp
+	pmax         float64
+	bsClamped    bool
+	battStorage  float64
+	sBatt        float64
+	battDiscZero bool
+	i, cellI     float64
+	overC6       float64 // max(0, i − packMaxI)
+	heat         float64
+	aging        float64
+	socPre       float64
+	socClampHi   bool
+
+	tb1, tc1 float64
+}
+
+// cnCoef holds the precomputed Crank–Nicolson coefficients and inverse used
+// by both forward and adjoint (the system matrix is constant: the model
+// always uses the ambient coupling as w).
+type cnCoef struct {
+	a, w, w2, cbdt, ccdt   float64
+	i00, i01, i10, i11     float64 // M⁻¹ (symmetric)
+	r0tb, r0tc, r1tb, r1tc float64 // rhs coefficients
+}
+
+func (r *rollout) cn(dt float64) cnCoef {
+	p := r.cool
+	a := p.HBC / 2
+	w := r.ambientCoupling
+	w2 := w / 2
+	cbdt := p.BatteryHeatCapacity / dt
+	ccdt := p.CoolantHeatCapacity / dt
+	m00 := cbdt + a
+	m01 := -a
+	m11 := ccdt + a + w2
+	det := m00*m11 - m01*m01
+	return cnCoef{
+		a: a, w: w, w2: w2, cbdt: cbdt, ccdt: ccdt,
+		i00: m11 / det, i01: -m01 / det, i10: -m01 / det, i11: m00 / det,
+		r0tb: cbdt - a, r0tc: a,
+		r1tb: a, r1tc: ccdt - a - w2,
+	}
+}
+
+// etaAt evaluates a converter's efficiency and whether its derivative in v
+// is nonzero (interior of the clamp).
+func etaAt(peak, min, nom, droop, v float64) (float64, bool) {
+	sag := 1 - v/nom
+	if sag < 0 {
+		sag = 0
+	}
+	eta := peak - droop*sag
+	switch {
+	case eta <= min:
+		return min, false
+	case eta >= peak:
+		return peak, false
+	}
+	return eta, true
+}
+
+// objectiveFwd is the single source of truth for the MPC cost. When tape is
+// non-nil it must have length cfg.Horizon and records the intermediates.
+func (o *OTEM) objectiveFwd(z []float64, tape []stepTape) float64 {
+	r := &o.roll
+	cfg := &o.cfg
+	spec := o.planner.Spec()
+
+	soc, soe := r.soc, r.soe
+	tb, tc := r.tb, r.tc
+	dt := r.dt
+	cn := r.cn(dt)
+
+	var cost float64
+	for k := 0; k < cfg.Horizon; k++ {
+		var tp stepTape
+		tp.soc0, tp.soe0, tp.tb0, tp.tc0 = soc, soe, tb, tc
+		tp.capU = spec.InputAt(z, k, 0)
+		tp.coolU = spec.InputAt(z, k, 1)
+
+		// --- Cooling: linear intensity model ---
+		tp.pcool = tp.coolU * (r.coolerMax + r.pump)
+		tp.qx = -tp.coolU * r.coolEff * r.coolerMax
+		load := o.fc[k] + tp.pcool
+
+		// --- Ultracapacitor branch ---
+		capBus0 := tp.capU * cfg.CapPowerScale
+		if soe > 1e-6 {
+			tp.vcap = r.capBusV * math.Sqrt(soe)
+		} else {
+			tp.vcap = r.capBusV * math.Sqrt(1e-6)
+			tp.vcapClamped = true
+		}
+		tp.capMax = r.capC7
+		if r.capESR > 0 {
+			if sag := 0.97 * tp.vcap * tp.vcap / (4 * r.capESR); sag < tp.capMax {
+				tp.capMax = sag
+				tp.sagBranch = true
+			}
+		}
+		cc := r.capConv
+		tp.etaCapBus, tp.etaCapBusP = etaAt(cc.PeakEfficiency, cc.MinEfficiency, cc.NominalVoltage, cc.Droop, tp.vcap)
+		// BusPower for a non-negative storage power (capMax ≥ 0, idle 0).
+		tp.capMaxBus = (tp.capMax - cc.IdleLoss) * tp.etaCapBus
+		tp.capBus = capBus0
+		if tp.capBus > tp.capMaxBus {
+			tp.capBus = tp.capMaxBus
+			tp.capClamped = true
+		}
+		tp.etaCapSto, tp.etaCapStoP = tp.etaCapBus, tp.etaCapBusP
+		if tp.capBus >= 0 {
+			tp.capStorage = tp.capBus/tp.etaCapSto + cc.IdleLoss
+		} else {
+			tp.capStorage = tp.capBus*tp.etaCapSto + cc.IdleLoss
+		}
+		if r.capESR > 0 {
+			disc := tp.vcap*tp.vcap - 4*r.capESR*tp.capStorage
+			if disc < 0 {
+				disc = 0
+				tp.capDiscZero = true
+			}
+			tp.sCap = math.Sqrt(disc)
+			tp.capI = (tp.vcap - tp.sCap) / (2 * r.capESR)
+		} else if tp.vcap > 0 {
+			tp.capI = tp.capStorage / tp.vcap
+		}
+		tp.dEcap = (tp.capStorage + tp.capI*tp.capI*r.capESR) * dt
+		tp.soePre = soe - tp.dEcap/r.capEnergy
+		soe = tp.soePre
+		if d := r.capMinSoE - soe; d > 0 {
+			cost += cfg.StateWeight * d * d
+		}
+		if d := soe - 1; d > 0 {
+			cost += cfg.StateWeight * d * d
+			soe = 1
+			tp.soeClampHi = true
+		}
+
+		// --- Battery branch ---
+		tp.battBus = load - tp.capBus
+		tp.voc = r.cellOCVScale * r.cell.OCV(soc)
+		tp.res = r.packResScale * r.cell.Resistance(soc, tb)
+		bc := r.battConv
+		tp.etaBatt, tp.etaBattP = etaAt(bc.PeakEfficiency, bc.MinEfficiency, bc.NominalVoltage, bc.Droop, tp.voc)
+		if tp.battBus >= 0 {
+			tp.bsPre = tp.battBus/tp.etaBatt + bc.IdleLoss
+		} else {
+			tp.bsPre = tp.battBus*tp.etaBatt + bc.IdleLoss
+		}
+		tp.pmax = tp.voc * tp.voc / (4 * tp.res) * 0.98
+		tp.battStorage = tp.bsPre
+		if tp.bsPre > tp.pmax {
+			d := (tp.bsPre - tp.pmax) / 1e3
+			cost += 1e6 * d * d
+			tp.battStorage = tp.pmax
+			tp.bsClamped = true
+		}
+		disc := tp.voc*tp.voc - 4*tp.res*tp.battStorage
+		if disc < 0 {
+			disc = 0
+			tp.battDiscZero = true
+		}
+		tp.sBatt = math.Sqrt(disc)
+		tp.i = (tp.voc - tp.sBatt) / (2 * tp.res)
+		tp.overC6 = tp.i - r.packMaxI
+		if tp.overC6 > 0 {
+			cost += 1e3 * tp.overC6 * tp.overC6
+		} else {
+			tp.overC6 = 0
+		}
+		tp.cellI = tp.i / r.parallel
+		tp.heat = r.cell.HeatRate(tp.cellI, soc, tb) * r.cells
+		tp.aging = r.cell.AgingRate(math.Abs(tp.cellI), tb) * dt
+		dEbat := tp.voc * tp.i * dt
+		tp.socPre = soc - tp.i*dt/r.packCapC
+		soc = tp.socPre
+		if d := r.battMinSoC - soc; d > 0 {
+			cost += cfg.StateWeight * d * d
+		}
+		if d := soc - 1; d > 0 {
+			cost += cfg.StateWeight * d * d
+			soc = 1
+			tp.socClampHi = true
+		}
+
+		// --- Thermal network (closed-form CN, identical to CNStep2) ---
+		r0 := cn.r0tb*tb + cn.r0tc*tc + tp.heat
+		r1 := cn.r1tb*tb + cn.r1tc*tc + cn.w*r.ambient + tp.qx
+		tb = cn.i00*r0 + cn.i01*r1
+		tc = cn.i10*r0 + cn.i11*r1
+		tp.tb1, tp.tc1 = tb, tc
+		if d := tb - r.safeTemp; d > 0 {
+			cost += cfg.SafeTempWeight * d * d
+		}
+		tw := (r.battHeatCap*tb + r.coolHeatCap*tc) / (r.battHeatCap + r.coolHeatCap)
+		if d := tw - cfg.TargetTemp; d > 0 {
+			cost += cfg.TempPressureWeight / float64(cfg.Horizon) * d * d
+		}
+
+		cost += cfg.W1*tp.pcool*dt + cfg.W2*tp.aging + cfg.W3*(dEbat+tp.dEcap)
+		if tape != nil {
+			tape[k] = tp
+		}
+	}
+
+	if d := cfg.TEBTargetSoE - soe; d > 0 {
+		cost += cfg.TEBWeight * r.capEnergy * d * d
+	}
+	return cost
+}
+
+// objectiveGrad computes the cost and writes ∂cost/∂z into grad via the
+// adjoint sweep.
+func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
+	r := &o.roll
+	cfg := &o.cfg
+	spec := o.planner.Spec()
+	dt := r.dt
+	cn := r.cn(dt)
+
+	if cap(o.tape) < cfg.Horizon {
+		o.tape = make([]stepTape, cfg.Horizon)
+	}
+	tape := o.tape[:cfg.Horizon]
+	cost := o.objectiveFwd(z, tape)
+
+	for gi := range grad {
+		grad[gi] = 0
+	}
+
+	// State adjoints at the end of the horizon.
+	var asoc, asoe, atb, atc float64
+	// Terminal TEB term: cost += W·(T − soe)² when T − soe > 0.
+	soeEnd := tape[cfg.Horizon-1].soePre
+	if tape[cfg.Horizon-1].soeClampHi {
+		soeEnd = 1
+	}
+	if d := cfg.TEBTargetSoE - soeEnd; d > 0 {
+		asoe += -2 * cfg.TEBWeight * r.capEnergy * d
+	}
+
+	hcSum := r.battHeatCap + r.coolHeatCap
+	for k := cfg.Horizon - 1; k >= 0; k-- {
+		tp := &tape[k]
+
+		// --- Temperature penalties at tb1/tc1 ---
+		atb1, atc1 := atb, atc
+		if d := tp.tb1 - r.safeTemp; d > 0 {
+			atb1 += 2 * cfg.SafeTempWeight * d
+		}
+		tw := (r.battHeatCap*tp.tb1 + r.coolHeatCap*tp.tc1) / hcSum
+		if d := tw - cfg.TargetTemp; d > 0 {
+			c := 2 * cfg.TempPressureWeight / float64(cfg.Horizon) * d
+			atb1 += c * r.battHeatCap / hcSum
+			atc1 += c * r.coolHeatCap / hcSum
+		}
+
+		// --- CN adjoint (M⁻¹ is symmetric) ---
+		lr0 := cn.i00*atb1 + cn.i10*atc1
+		lr1 := cn.i01*atb1 + cn.i11*atc1
+		atb0 := cn.r0tb*lr0 + cn.r1tb*lr1
+		atc0 := cn.r0tc*lr0 + cn.r1tc*lr1
+		aheat := lr0
+		aqx := lr1
+
+		// --- SoC clamp/penalties ---
+		asocPre := asoc
+		if tp.socClampHi {
+			asocPre = 2 * cfg.StateWeight * (tp.socPre - 1)
+		}
+		if d := r.battMinSoC - tp.socPre; d > 0 {
+			asocPre += -2 * cfg.StateWeight * d
+		}
+		// soc' = soc0 − i·dt/capC
+		asoc0 := asocPre
+		ai := -asocPre * dt / r.packCapC
+
+		// --- Running battery cost terms ---
+		// dEbat = voc·i·dt (weight W3).
+		avoc := cfg.W3 * tp.i * dt
+		ai += cfg.W3 * tp.voc * dt
+		// aging = rate(|cellI|, tb0)·dt (weight W2).
+		acellI := 0.0
+		absCell := math.Abs(tp.cellI)
+		if absCell > 0 {
+			dRdI := tp.aging * r.cell.L[2] / absCell // ∂(rate·dt)/∂|i|
+			sign := 1.0
+			if tp.cellI < 0 {
+				sign = -1
+			}
+			acellI += cfg.W2 * dRdI * sign
+			atb0 += cfg.W2 * tp.aging * r.cell.L[1] / (units.GasConstant * tp.tb0 * tp.tb0)
+		}
+		// heat = cells·(cellI²·R(soc,tb) + cellI·tb·dVocdT)
+		cellR := r.cell.Resistance(tp.soc0, tp.tb0)
+		dHdI := r.cells * (2*tp.cellI*cellR + tp.tb0*r.cell.DVocDT)
+		dHdSoc := r.cells * tp.cellI * tp.cellI * r.cell.ResistancePrime(tp.soc0, tp.tb0)
+		dRdT := cellR * (-r.cell.Kr / (tp.tb0 * tp.tb0))
+		dHdT := r.cells * (tp.cellI*tp.cellI*dRdT + tp.cellI*r.cell.DVocDT)
+		acellI += aheat * dHdI
+		asoc0 += aheat * dHdSoc
+		atb0 += aheat * dHdT
+		// C6 penalty.
+		ai += acellI / r.parallel
+		if tp.overC6 > 0 {
+			ai += 2 * 1e3 * tp.overC6
+		}
+
+		// --- Current solve i = (voc − s)/(2res), s² = voc² − 4res·bs ---
+		var abs_, avocI, aresI float64
+		if tp.battDiscZero || tp.sBatt == 0 {
+			// i = voc/(2res) (s clamped to 0).
+			avocI = ai / (2 * tp.res)
+			aresI = -ai * tp.voc / (2 * tp.res * tp.res)
+		} else {
+			s := tp.sBatt
+			avocI = ai * (1 - tp.voc/s) / (2 * tp.res)
+			abs_ = ai / s
+			aresI = ai * (4*tp.res*tp.battStorage/s - 2*(tp.voc-s)) / (4 * tp.res * tp.res)
+		}
+		avoc += avocI
+		ares := aresI
+
+		// --- pmax clamp ---
+		absPre := abs_
+		apmax := 0.0
+		if tp.bsClamped {
+			d := (tp.bsPre - tp.pmax) / 1e3
+			absPre = 2 * 1e6 * d / 1e3 // penalty on bsPre
+			apmax = abs_ - 2*1e6*d/1e3 // downstream flows to pmax, minus penalty
+		}
+		if apmax != 0 {
+			avoc += apmax * 0.98 * 2 * tp.voc / (4 * tp.res)
+			ares += -apmax * 0.98 * tp.voc * tp.voc / (4 * tp.res * tp.res)
+		}
+
+		// --- battery converter ---
+		var abattBus float64
+		if tp.battBus >= 0 {
+			abattBus = absPre / tp.etaBatt
+			if tp.etaBattP {
+				avoc += -absPre * tp.battBus * (r.battConv.Droop / r.battConv.NominalVoltage) / (tp.etaBatt * tp.etaBatt)
+			}
+		} else {
+			abattBus = absPre * tp.etaBatt
+			if tp.etaBattP {
+				avoc += absPre * tp.battBus * (r.battConv.Droop / r.battConv.NominalVoltage)
+			}
+		}
+
+		// --- voc/res to soc0/tb0 ---
+		asoc0 += avoc * r.cellOCVScale * r.cell.OCVPrime(tp.soc0)
+		asoc0 += ares * r.packResScale * r.cell.ResistancePrime(tp.soc0, tp.tb0)
+		atb0 += ares * r.packResScale * dRdT
+
+		// --- battBus = load − capBus ---
+		aload := abattBus
+		acapBus := -abattBus
+
+		// --- SoE clamp/penalties ---
+		asoePre := asoe
+		if tp.soeClampHi {
+			asoePre = 2 * cfg.StateWeight * (tp.soePre - 1)
+		}
+		if d := r.capMinSoE - tp.soePre; d > 0 {
+			asoePre += -2 * cfg.StateWeight * d
+		}
+		asoe0 := asoePre
+		adE := -asoePre/r.capEnergy + cfg.W3 // soe' = soe0 − dE/E; plus W3·dEcap
+
+		// --- dEcap = (capStorage + capI²·Rc)·dt ---
+		var acs, avcap float64
+		if r.capESR > 0 {
+			var dIdCS, dIdV float64
+			if tp.capDiscZero || tp.sCap == 0 {
+				dIdCS = 0
+				dIdV = 1 / (2 * r.capESR)
+			} else {
+				dIdCS = 1 / tp.sCap
+				dIdV = (1 - tp.vcap/tp.sCap) / (2 * r.capESR)
+			}
+			acs = adE * dt * (1 + 2*tp.capI*r.capESR*dIdCS)
+			avcap = adE * dt * 2 * tp.capI * r.capESR * dIdV
+		} else {
+			acs = adE * dt
+		}
+
+		// --- capacitor converter (StoragePower) ---
+		droopTerm := r.capConv.Droop / r.capConv.NominalVoltage
+		if tp.capBus >= 0 {
+			acapBus += acs / tp.etaCapSto
+			if tp.etaCapStoP {
+				avcap += -acs * tp.capBus * droopTerm / (tp.etaCapSto * tp.etaCapSto)
+			}
+		} else {
+			acapBus += acs * tp.etaCapSto
+			if tp.etaCapStoP {
+				avcap += acs * tp.capBus * droopTerm
+			}
+		}
+
+		// --- capBus clamp ---
+		var acapU float64
+		if tp.capClamped {
+			// capBus = capMaxBus = (capMax − idle)·η(vcap)
+			acmb := acapBus
+			acapMax := acmb * tp.etaCapBus
+			if tp.etaCapBusP {
+				avcap += acmb * (tp.capMax - r.capConv.IdleLoss) * droopTerm
+			}
+			if tp.sagBranch {
+				avcap += acapMax * 0.97 * 2 * tp.vcap / (4 * r.capESR)
+			}
+		} else {
+			acapU = acapBus * cfg.CapPowerScale
+		}
+
+		// --- vcap = busV·sqrt(soe0) ---
+		if !tp.vcapClamped {
+			asoe0 += avcap * r.capBusV / (2 * math.Sqrt(tp.soe0))
+		}
+
+		// --- cooling controls ---
+		apcool := aload + cfg.W1*dt
+		acoolU := apcool*(r.coolerMax+r.pump) + aqx*(-r.coolEff*r.coolerMax)
+
+		// --- accumulate into the blocked gradient ---
+		b := k / spec.BlockSize
+		if b >= spec.Blocks() {
+			b = spec.Blocks() - 1
+		}
+		grad[b*spec.InputsPerStep] += acapU
+		grad[b*spec.InputsPerStep+1] += acoolU
+
+		asoc, asoe, atb, atc = asoc0, asoe0, atb0, atc0
+	}
+	return cost
+}

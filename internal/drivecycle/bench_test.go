@@ -1,0 +1,30 @@
+package drivecycle
+
+import "testing"
+
+func BenchmarkUS06(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if c := US06(); c.Samples() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := DefaultSynthConfig(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStats(b *testing.B) {
+	c := LA92()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := c.Stats(); s.Duration == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

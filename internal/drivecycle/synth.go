@@ -1,0 +1,91 @@
+package drivecycle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SynthConfig parameterises the random micro-trip synthesiser, used for
+// robustness experiments and property tests beyond the six standard cycles.
+type SynthConfig struct {
+	// Name labels the generated cycle.
+	Name string
+	// TargetDuration is the approximate cycle length in seconds.
+	TargetDuration float64
+	// MeanPeakKmh is the mean micro-trip peak speed in km/h.
+	MeanPeakKmh float64
+	// PeakJitter is the ± relative spread of peak speeds (0..1).
+	PeakJitter float64
+	// MaxAccel bounds accelerations, m/s².
+	MaxAccel float64
+	// MeanCruise is the mean cruise time per trip, s.
+	MeanCruise float64
+	// MeanIdle is the mean idle time between trips, s.
+	MeanIdle float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultSynthConfig returns a moderate suburban profile.
+func DefaultSynthConfig(seed int64) SynthConfig {
+	return SynthConfig{
+		Name:           fmt.Sprintf("SYNTH-%d", seed),
+		TargetDuration: 900,
+		MeanPeakKmh:    60,
+		PeakJitter:     0.4,
+		MaxAccel:       2.5,
+		MeanCruise:     40,
+		MeanIdle:       12,
+		Seed:           seed,
+	}
+}
+
+// Validate reports an error for unusable synthesiser settings.
+func (c SynthConfig) Validate() error {
+	switch {
+	case c.TargetDuration <= 0:
+		return fmt.Errorf("drivecycle: TargetDuration = %g, must be > 0", c.TargetDuration)
+	case c.MeanPeakKmh <= 0:
+		return fmt.Errorf("drivecycle: MeanPeakKmh = %g, must be > 0", c.MeanPeakKmh)
+	case c.PeakJitter < 0 || c.PeakJitter >= 1:
+		return fmt.Errorf("drivecycle: PeakJitter = %g, must be in [0, 1)", c.PeakJitter)
+	case c.MaxAccel <= 0:
+		return fmt.Errorf("drivecycle: MaxAccel = %g, must be > 0", c.MaxAccel)
+	case c.MeanCruise < 0 || c.MeanIdle < 0:
+		return fmt.Errorf("drivecycle: negative cruise/idle durations")
+	}
+	return nil
+}
+
+// Synthesize generates a random but deterministic (seeded) drive cycle from
+// the configuration.
+func Synthesize(cfg SynthConfig) (*Cycle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var trips []microTrip
+	elapsed := 5.0 // lead idle
+	for elapsed < cfg.TargetDuration {
+		jitter := 1 + cfg.PeakJitter*(2*rng.Float64()-1)
+		peak := cfg.MeanPeakKmh * jitter
+		accel := cfg.MaxAccel * (0.5 + 0.5*rng.Float64())
+		decel := cfg.MaxAccel * (0.5 + 0.5*rng.Float64())
+		cruise := cfg.MeanCruise * (0.5 + rng.Float64())
+		idle := cfg.MeanIdle * (0.5 + rng.Float64())
+		trips = append(trips, microTrip{
+			peakKmh: peak, accel: accel, decel: decel, cruise: cruise, idle: idle,
+		})
+		peakMs := peak / 3.6
+		elapsed += peakMs/accel + cruise + peakMs/decel + idle
+	}
+	c := synthesize(cfg.Name, 5, trips)
+	// Trim to the target duration, ending at standstill for realism.
+	n := int(math.Min(float64(len(c.Speed)), cfg.TargetDuration))
+	c.Speed = c.Speed[:n]
+	if n > 0 {
+		c.Speed[n-1] = 0
+	}
+	return c, nil
+}

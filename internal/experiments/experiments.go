@@ -1,0 +1,110 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§IV): Fig. 1 (thermal case study), Fig. 6 (temperature
+// traces), Fig. 7 (TEB preparation), Fig. 8 (battery lifetime), Fig. 9
+// (power consumption) and Table I (ultracapacitor sizing). Each experiment
+// returns a structured result that the CLI tools and the benchmark harness
+// render; absolute numbers differ from the paper (our substrate is a
+// synthetic simulator — see DESIGN.md), but the qualitative shape is
+// asserted by tests.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/drivecycle"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+)
+
+// Methodology names in canonical presentation order.
+const (
+	MethodParallel = "Parallel"
+	MethodCooling  = "ActiveCooling"
+	MethodDual     = "Dual"
+	MethodOTEM     = "OTEM"
+)
+
+// Methods lists the four compared methodologies in presentation order.
+func Methods() []string {
+	return []string{MethodParallel, MethodCooling, MethodDual, MethodOTEM}
+}
+
+// newController builds a fresh controller for a methodology. Controllers
+// are stateful, so each run needs its own.
+func newController(method string) (sim.Controller, error) {
+	switch method {
+	case MethodParallel:
+		return policy.Parallel{}, nil
+	case MethodCooling:
+		return policy.NewActiveCooling(), nil
+	case MethodDual:
+		return policy.NewDual(), nil
+	case MethodOTEM:
+		return core.New(core.DefaultConfig())
+	}
+	return nil, fmt.Errorf("experiments: unknown methodology %q", method)
+}
+
+// RunSpec describes one simulation run of the experiment suite.
+type RunSpec struct {
+	// Method is one of the Methods names.
+	Method string
+	// Cycle is a standard drive-cycle name (drivecycle.Names).
+	Cycle string
+	// Repeats plays the cycle back to back (default 1).
+	Repeats int
+	// UltracapF is the bank size in farads (default 25000).
+	UltracapF float64
+	// Trace enables per-step recording.
+	Trace bool
+}
+
+// Run executes one specification on a fresh default plant and vehicle.
+func Run(spec RunSpec) (sim.Result, error) {
+	if spec.Repeats < 1 {
+		spec.Repeats = 1
+	}
+	if spec.UltracapF == 0 {
+		spec.UltracapF = 25000
+	}
+	cycle, err := drivecycle.ByName(spec.Cycle)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	requests := vehicle.MidSizeEV().PowerSeries(cycle.Repeat(spec.Repeats))
+
+	plant, err := sim.NewPlant(sim.PlantConfig{UltracapF: spec.UltracapF})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	ctrl, err := newController(spec.Method)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(plant, ctrl, requests, sim.Config{
+		RecordTrace: spec.Trace,
+		Horizon:     core.DefaultConfig().Horizon,
+	})
+}
+
+// toCelsius converts a kelvin series for charting.
+func toCelsius(k []float64) []float64 {
+	out := make([]float64, len(k))
+	for i, v := range k {
+		out[i] = units.KToC(v)
+	}
+	return out
+}
+
+// writeTempSeries renders a downsampled temperature series as rows of
+// "t  temp°C" for terminal display.
+func writeTempSeries(w io.Writer, label string, tr *sim.Trace, every int) {
+	fmt.Fprintf(w, "# %s\n", label)
+	for i := 0; i < len(tr.Time); i += every {
+		fmt.Fprintf(w, "%6.0f s  %6.2f °C\n", tr.Time[i], units.KToC(tr.BatteryTemp[i]))
+	}
+}

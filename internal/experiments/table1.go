@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// TableIResult reproduces the paper's Table I: average power and capacity
+// loss for ultracapacitor sizes {5, 10, 20, 25} kF under the Parallel, Dual
+// and OTEM methodologies on US06 ×5. Capacity losses are normalised to the
+// parallel architecture at 25 kF (= 100 %), as in the paper.
+type TableIResult struct {
+	// SizesF are the swept bank sizes in farads (rows).
+	SizesF []float64
+	// MethodsList are the compared methodologies (columns).
+	MethodsList []string
+	// Results[i][j] is the run at SizesF[i] under MethodsList[j].
+	Results [][]sim.Result
+	// BaselineLoss is the parallel@25 kF capacity loss used for the 100 %
+	// normalisation.
+	BaselineLoss float64
+}
+
+// TableI runs the sizing sweep (12 simulations, 4 of them MPC).
+func TableI() (*TableIResult, error) {
+	out := &TableIResult{
+		SizesF:      []float64{5000, 10000, 20000, 25000},
+		MethodsList: []string{MethodParallel, MethodDual, MethodOTEM},
+	}
+	for _, size := range out.SizesF {
+		row := make([]sim.Result, 0, len(out.MethodsList))
+		for _, m := range out.MethodsList {
+			res, err := Run(RunSpec{Method: m, Cycle: "US06", Repeats: 5, UltracapF: size})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %.0fF/%s: %w", size, m, err)
+			}
+			row = append(row, res)
+		}
+		out.Results = append(out.Results, row)
+	}
+	// Normalisation: parallel at 25 kF.
+	out.BaselineLoss = out.Results[len(out.SizesF)-1][0].QlossPct
+	return out, nil
+}
+
+// LossPct returns the normalised capacity loss (percent of parallel@25 kF)
+// for row i, column j.
+func (r *TableIResult) LossPct(i, j int) float64 {
+	return 100 * r.Results[i][j].QlossPct / r.BaselineLoss
+}
+
+// Write renders the table in the paper's layout.
+func (r *TableIResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Table I — Influence of ultracapacitor size, US06 ×5")
+	fmt.Fprintf(w, "%-10s |", "Size (F)")
+	for _, m := range r.MethodsList {
+		fmt.Fprintf(w, " %12s", m+" P̄(W)")
+	}
+	fmt.Fprint(w, " |")
+	for _, m := range r.MethodsList {
+		fmt.Fprintf(w, " %12s", m+" Q(%)")
+	}
+	fmt.Fprintln(w)
+	for i, size := range r.SizesF {
+		fmt.Fprintf(w, "%-10.0f |", size)
+		for j := range r.MethodsList {
+			fmt.Fprintf(w, " %12.0f", r.Results[i][j].AvgPowerW)
+		}
+		fmt.Fprint(w, " |")
+		for j := range r.MethodsList {
+			fmt.Fprintf(w, " %12.2f", r.LossPct(i, j))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,139 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/battery"
+)
+
+// sampleCell generates (z, Voc, R) measurement data from the reference cell
+// with optional Gaussian noise.
+func sampleCell(n int, noiseV, noiseR float64, seed int64) (z, voc, res []float64) {
+	p := battery.NCR18650A()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		zi := 0.02 + 0.96*float64(i)/float64(n-1)
+		z = append(z, zi)
+		voc = append(voc, p.OCV(zi)+noiseV*rng.NormFloat64())
+		res = append(res, p.Resistance(zi, p.RefTemp)+noiseR*rng.NormFloat64())
+	}
+	return z, voc, res
+}
+
+func TestOCVRecoversNoiseFree(t *testing.T) {
+	z, voc, _ := sampleCell(60, 0, 0, 1)
+	got, err := OCV(z, voc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RMSE > 1e-4 {
+		t.Errorf("noise-free OCV RMSE = %v V", got.RMSE)
+	}
+	// The fitted curve must reproduce the truth across the range,
+	// including points between samples.
+	p := battery.NCR18650A()
+	for zi := 0.05; zi < 1; zi += 0.013 {
+		if d := math.Abs(got.Eval(zi) - p.OCV(zi)); d > 2e-3 {
+			t.Errorf("OCV fit off by %v V at z=%v", d, zi)
+		}
+	}
+}
+
+func TestOCVRecoversUnderNoise(t *testing.T) {
+	z, voc, _ := sampleCell(200, 0.005, 0, 2) // 5 mV sensor noise
+	got, err := OCV(z, voc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := battery.NCR18650A()
+	var worst float64
+	for zi := 0.1; zi < 1; zi += 0.01 {
+		if d := math.Abs(got.Eval(zi) - p.OCV(zi)); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("noisy OCV fit worst error = %v V, want < 10 mV", worst)
+	}
+}
+
+func TestResistanceRecovers(t *testing.T) {
+	z, _, res := sampleCell(60, 0, 0, 3)
+	got, err := Resistance(z, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RMSE > 1e-6 {
+		t.Errorf("noise-free R RMSE = %v Ω", got.RMSE)
+	}
+	p := battery.NCR18650A()
+	for zi := 0.05; zi < 1; zi += 0.017 {
+		truth := p.Resistance(zi, p.RefTemp)
+		if d := math.Abs(got.Eval(zi) - truth); d > 1e-4 {
+			t.Errorf("R fit off by %v Ω at z=%v", d, zi)
+		}
+	}
+}
+
+func TestResistanceUnderNoise(t *testing.T) {
+	z, _, res := sampleCell(200, 0, 5e-4, 4) // 0.5 mΩ measurement noise
+	got, err := Resistance(z, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := battery.NCR18650A()
+	// Mid-range accuracy matters most for control.
+	for _, zi := range []float64{0.3, 0.5, 0.7, 0.9} {
+		truth := p.Resistance(zi, p.RefTemp)
+		if d := math.Abs(got.Eval(zi) - truth); d > 5e-4 {
+			t.Errorf("noisy R fit off by %v Ω at z=%v", d, zi)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := OCV([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few OCV samples accepted")
+	}
+	if _, err := OCV([]float64{1, 2, 3}, []float64{1}); err == nil {
+		t.Error("mismatched OCV samples accepted")
+	}
+	if _, err := Resistance([]float64{1}, []float64{1}); err == nil {
+		t.Error("too few R samples accepted")
+	}
+}
+
+func TestIdentifyCellRoundTrip(t *testing.T) {
+	z, voc, res := sampleCell(100, 0.002, 2e-4, 5)
+	base := battery.NCR18650A()
+	got, err := IdentifyCell(base, z, voc, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The identified cell must behave like the original: same OCV and
+	// resistance within tight tolerances, and unchanged non-electrical
+	// parameters.
+	for _, zi := range []float64{0.2, 0.5, 0.8} {
+		if d := math.Abs(got.OCV(zi) - base.OCV(zi)); d > 0.01 {
+			t.Errorf("identified OCV off by %v at z=%v", d, zi)
+		}
+		if d := math.Abs(got.Resistance(zi, base.RefTemp) - base.Resistance(zi, base.RefTemp)); d > 5e-4 {
+			t.Errorf("identified R off by %v at z=%v", d, zi)
+		}
+	}
+	if got.CapacityAh != base.CapacityAh || got.SafeTemp != base.SafeTemp {
+		t.Error("non-electrical parameters mutated")
+	}
+}
+
+func TestGoldenMinFindsParabolaMinimum(t *testing.T) {
+	x, fx := goldenMin(func(x float64) float64 { return (x + 3) * (x + 3) }, -10, 10, 1e-6)
+	if math.Abs(x+3) > 1e-4 {
+		t.Errorf("argmin = %v, want -3", x)
+	}
+	if fx > 1e-8 {
+		t.Errorf("min = %v, want ~0", fx)
+	}
+}

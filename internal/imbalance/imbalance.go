@@ -1,0 +1,164 @@
+// Package imbalance models cell-to-cell variation inside the battery pack.
+// The lumped pack model (battery.Pack) treats every cell as identical; real
+// packs ship with a manufacturing spread of capacity and resistance, so the
+// weakest series group limits the usable capacity (without balancing) and
+// the highest-resistance group runs hottest and ages fastest — a positive
+// feedback the paper's safety constraint C1 exists to contain.
+package imbalance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/battery"
+)
+
+// Population holds the per-series-group variation factors of one pack
+// (each series group is Parallel cells acting as a unit; groups carry the
+// same current).
+type Population struct {
+	// CapFactor and ResFactor multiply the nominal capacity and resistance
+	// of each group; both have mean ≈ 1.
+	CapFactor []float64
+	ResFactor []float64
+}
+
+// NewPopulation samples a pack of the given series-group count with
+// Gaussian relative spreads (clamped to ±3σ to keep factors physical).
+// Same seed → same pack.
+func NewPopulation(groups int, capSigma, resSigma float64, seed int64) (Population, error) {
+	if groups < 1 {
+		return Population{}, fmt.Errorf("imbalance: groups = %d", groups)
+	}
+	if capSigma < 0 || resSigma < 0 {
+		return Population{}, errors.New("imbalance: negative sigma")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := Population{
+		CapFactor: make([]float64, groups),
+		ResFactor: make([]float64, groups),
+	}
+	clamp3 := func(x float64) float64 { return math.Max(-3, math.Min(3, x)) }
+	for i := 0; i < groups; i++ {
+		p.CapFactor[i] = 1 + capSigma*clamp3(rng.NormFloat64())
+		p.ResFactor[i] = 1 + resSigma*clamp3(rng.NormFloat64())
+	}
+	return p, nil
+}
+
+// Groups returns the series-group count.
+func (p Population) Groups() int { return len(p.CapFactor) }
+
+// UsableCapacityFrac returns the pack's usable capacity as a fraction of
+// nominal. Without balancing, the series string is limited by its weakest
+// group (the first to hit empty); with (ideal) balancing the charge is
+// redistributed, so the mean capacity is usable.
+func (p Population) UsableCapacityFrac(balanced bool) float64 {
+	if balanced {
+		var sum float64
+		for _, c := range p.CapFactor {
+			sum += c
+		}
+		return sum / float64(len(p.CapFactor))
+	}
+	minC := p.CapFactor[0]
+	for _, c := range p.CapFactor[1:] {
+		if c < minC {
+			minC = c
+		}
+	}
+	return minC
+}
+
+// BalancingGainFrac returns how much usable capacity an ideal balancing
+// circuit recovers (fraction of nominal, ≥ 0).
+func (p Population) BalancingGainFrac() float64 {
+	return p.UsableCapacityFrac(true) - p.UsableCapacityFrac(false)
+}
+
+// HotGroupFactor returns the Joule-heat multiplier of the hottest group
+// relative to nominal: series groups share the current, so heat scales with
+// each group's resistance factor.
+func (p Population) HotGroupFactor() float64 {
+	m := p.ResFactor[0]
+	for _, r := range p.ResFactor[1:] {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// SpreadResult summarises a divergence simulation.
+type SpreadResult struct {
+	// LossPct holds the per-group accumulated capacity loss.
+	LossPct []float64
+	// MaxOverMin is the aging divergence factor between the fastest- and
+	// slowest-aging groups.
+	MaxOverMin float64
+	// HotSpotDeltaK is the steady temperature elevation of the hottest
+	// group above the pack mean, kelvin.
+	HotSpotDeltaK float64
+}
+
+// SimulateSpread accumulates per-group aging over a pack-current profile
+// (amperes, discharge positive, one sample per dt): each group sees the
+// same current but its own resistance-scaled Joule heat, raising its local
+// temperature above the lumped pack temperature through the per-group
+// thermal resistance rthKPerW (K/W). Demonstrates the weak-cell feedback:
+// higher resistance → hotter → faster Arrhenius aging.
+func (p Population) SimulateSpread(cell battery.CellParams, parallel int, profile []float64, packTempK, rthKPerW, dt float64) (SpreadResult, error) {
+	if err := cell.Validate(); err != nil {
+		return SpreadResult{}, err
+	}
+	if parallel < 1 || rthKPerW < 0 || dt <= 0 {
+		return SpreadResult{}, errors.New("imbalance: invalid simulation parameters")
+	}
+	n := p.Groups()
+	out := SpreadResult{LossPct: make([]float64, n)}
+	// Nominal per-cell resistance at mid SoC for the heat scaling.
+	r0 := cell.Resistance(0.5, packTempK)
+	for _, packI := range profile {
+		cellI := packI / float64(parallel)
+		baseHeat := cellI * cellI * r0 // per cell, nominal
+		for g := 0; g < n; g++ {
+			// Group temperature: lumped pack temperature plus the local
+			// elevation from its own (resistance-scaled) heat.
+			tG := packTempK + rthKPerW*baseHeat*p.ResFactor[g]*float64(parallel)
+			out.LossPct[g] += cell.AgingRate(math.Abs(cellI), tG) * dt
+		}
+	}
+	minL, maxL := out.LossPct[0], out.LossPct[0]
+	var sumDelta float64
+	for g := 0; g < n; g++ {
+		if out.LossPct[g] < minL {
+			minL = out.LossPct[g]
+		}
+		if out.LossPct[g] > maxL {
+			maxL = out.LossPct[g]
+		}
+		sumDelta += p.ResFactor[g]
+	}
+	if minL > 0 {
+		out.MaxOverMin = maxL / minL
+	}
+	// Steady hotspot elevation at the RMS current of the profile.
+	var sumSq float64
+	for _, i := range profile {
+		sumSq += i * i
+	}
+	rmsCellI := math.Sqrt(sumSq/float64(len(profile))) / float64(parallel)
+	meanHeat := rmsCellI * rmsCellI * r0 * float64(parallel)
+	out.HotSpotDeltaK = rthKPerW * meanHeat * (p.HotGroupFactor() - mean(p.ResFactor))
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,161 @@
+package imbalance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/battery"
+	"repro/internal/units"
+)
+
+func TestNewPopulationValidation(t *testing.T) {
+	if _, err := NewPopulation(0, 0.01, 0.01, 1); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := NewPopulation(10, -0.1, 0.01, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestZeroSigmaIsUniform(t *testing.T) {
+	p, err := NewPopulation(96, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < p.Groups(); g++ {
+		if p.CapFactor[g] != 1 || p.ResFactor[g] != 1 {
+			t.Fatalf("zero-sigma pack not uniform at %d", g)
+		}
+	}
+	if p.UsableCapacityFrac(false) != 1 || p.BalancingGainFrac() != 0 {
+		t.Error("uniform pack should have full capacity and no balancing gain")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, _ := NewPopulation(96, 0.02, 0.05, 42)
+	b, _ := NewPopulation(96, 0.02, 0.05, 42)
+	for g := range a.CapFactor {
+		if a.CapFactor[g] != b.CapFactor[g] || a.ResFactor[g] != b.ResFactor[g] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c, _ := NewPopulation(96, 0.02, 0.05, 43)
+	same := true
+	for g := range a.CapFactor {
+		if a.CapFactor[g] != c.CapFactor[g] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestWeakestGroupLimitsCapacity(t *testing.T) {
+	p, _ := NewPopulation(96, 0.03, 0, 11)
+	unbalanced := p.UsableCapacityFrac(false)
+	balanced := p.UsableCapacityFrac(true)
+	if unbalanced >= balanced {
+		t.Errorf("unbalanced %v should be below balanced %v", unbalanced, balanced)
+	}
+	// With 96 groups at 3 % sigma the weakest is typically ≈ 3σ low.
+	if unbalanced > 1-0.04 || unbalanced < 1-0.10 {
+		t.Errorf("weakest group at %v, want roughly 0.91–0.96", unbalanced)
+	}
+	if g := p.BalancingGainFrac(); g <= 0 {
+		t.Errorf("balancing gain = %v, want > 0", g)
+	}
+}
+
+func TestBalancingGainNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p, err := NewPopulation(32, 0.02, 0.04, seed)
+		if err != nil {
+			return false
+		}
+		return p.BalancingGainFrac() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotGroupFactorAtLeastMean(t *testing.T) {
+	p, _ := NewPopulation(96, 0, 0.05, 5)
+	if p.HotGroupFactor() < 1 {
+		t.Errorf("hot group factor %v below nominal", p.HotGroupFactor())
+	}
+}
+
+func TestSimulateSpreadDivergence(t *testing.T) {
+	p, err := NewPopulation(96, 0, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := make([]float64, 600)
+	for i := range profile {
+		profile[i] = 120 // 120 A pack current
+	}
+	res, err := p.SimulateSpread(battery.NCR18650A(), 24, profile, units.CToK(32), 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxOverMin <= 1 {
+		t.Errorf("no aging divergence: %v", res.MaxOverMin)
+	}
+	if res.HotSpotDeltaK <= 0 {
+		t.Errorf("no hotspot: %v", res.HotSpotDeltaK)
+	}
+	// Uniform pack: no divergence.
+	u, _ := NewPopulation(96, 0, 0, 1)
+	resU, err := u.SimulateSpread(battery.NCR18650A(), 24, profile, units.CToK(32), 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resU.MaxOverMin-1) > 1e-12 {
+		t.Errorf("uniform pack diverged: %v", resU.MaxOverMin)
+	}
+}
+
+func TestSimulateSpreadGrowsWithSigma(t *testing.T) {
+	profile := make([]float64, 300)
+	for i := range profile {
+		profile[i] = 150
+	}
+	cell := battery.NCR18650A()
+	small, _ := NewPopulation(96, 0, 0.02, 3)
+	big, _ := NewPopulation(96, 0, 0.08, 3)
+	rs, err := small.SimulateSpread(cell, 24, profile, units.CToK(32), 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.SimulateSpread(cell, 24, profile, units.CToK(32), 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.MaxOverMin <= rs.MaxOverMin {
+		t.Errorf("divergence should grow with spread: %v vs %v", rb.MaxOverMin, rs.MaxOverMin)
+	}
+}
+
+func TestSimulateSpreadValidation(t *testing.T) {
+	p, _ := NewPopulation(8, 0.01, 0.01, 1)
+	cell := battery.NCR18650A()
+	if _, err := p.SimulateSpread(cell, 0, []float64{1}, 300, 0.01, 1); err == nil {
+		t.Error("zero parallel accepted")
+	}
+	if _, err := p.SimulateSpread(cell, 24, []float64{1}, 300, -1, 1); err == nil {
+		t.Error("negative rth accepted")
+	}
+	if _, err := p.SimulateSpread(cell, 24, []float64{1}, 300, 0.01, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	bad := cell
+	bad.CapacityAh = -1
+	if _, err := p.SimulateSpread(bad, 24, []float64{1}, 300, 0.01, 1); err == nil {
+		t.Error("invalid cell accepted")
+	}
+}

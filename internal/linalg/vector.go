@@ -1,0 +1,176 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// optimisation and thermal-network code: vectors, column-major-free dense
+// matrices, LU and Cholesky factorisations, and a tridiagonal solver.
+//
+// The package is deliberately minimal — it implements exactly what the MPC
+// solver and the lumped thermal models need, with bounds-checked, allocation
+// conscious APIs in the spirit of the standard library.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float64 vector. The zero value is an empty vector.
+type Vector []float64
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector {
+	if n < 0 {
+		panic("linalg: negative vector length")
+	}
+	return make(Vector, n)
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to x and returns v for chaining.
+func (v Vector) Fill(x float64) Vector {
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Dot returns the inner product of v and w. It panics if lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(dimErr("Dot", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, computed with scaling to avoid
+// overflow for large components.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute element of v (0 for an empty vector).
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AXPY computes v ← v + alpha*w in place and returns v.
+// It panics if lengths differ.
+func (v Vector) AXPY(alpha float64, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(dimErr("AXPY", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+	return v
+}
+
+// Scale multiplies every element of v by alpha in place and returns v.
+func (v Vector) Scale(alpha float64) Vector {
+	for i := range v {
+		v[i] *= alpha
+	}
+	return v
+}
+
+// Sub computes v ← v - w in place and returns v. It panics if lengths differ.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(dimErr("Sub", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] -= w[i]
+	}
+	return v
+}
+
+// Add computes v ← v + w in place and returns v. It panics if lengths differ.
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(dimErr("Add", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Max returns the maximum element of v. It panics on an empty vector.
+func (v Vector) Max() float64 {
+	if len(v) == 0 {
+		panic("linalg: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element of v. It panics on an empty vector.
+func (v Vector) Min() float64 {
+	if len(v) == 0 {
+		panic("linalg: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// HasNaN reports whether any element of v is NaN.
+func (v Vector) HasNaN() bool {
+	for _, x := range v {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func dimErr(op string, a, b int) string {
+	return fmt.Sprintf("linalg: %s dimension mismatch: %d vs %d", op, a, b)
+}

@@ -1,0 +1,126 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorNorm2(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	// Overflow-safe scaling.
+	big := Vector{1e200, 1e200}
+	want := 1e200 * math.Sqrt(2)
+	if got := big.Norm2(); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Norm2(big) = %v, want %v", got, want)
+	}
+	if got := (Vector{}).Norm2(); got != 0 {
+		t.Errorf("Norm2(empty) = %v, want 0", got)
+	}
+}
+
+func TestVectorNormInf(t *testing.T) {
+	if got := (Vector{-7, 2, 5}).NormInf(); got != 7 {
+		t.Errorf("NormInf = %v, want 7", got)
+	}
+	if got := (Vector{}).NormInf(); got != 0 {
+		t.Errorf("NormInf(empty) = %v, want 0", got)
+	}
+}
+
+func TestVectorAXPY(t *testing.T) {
+	v := Vector{1, 2}
+	v.AXPY(2, Vector{10, 20})
+	if v[0] != 21 || v[1] != 42 {
+		t.Errorf("AXPY result %v", v)
+	}
+}
+
+func TestVectorAddSubScale(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.Add(Vector{1, 1, 1}).Sub(Vector{0, 1, 2}).Scale(2)
+	want := Vector{4, 4, 4}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("chained ops = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestVectorMinMaxSum(t *testing.T) {
+	v := Vector{3, -1, 7, 0}
+	if v.Min() != -1 {
+		t.Errorf("Min = %v", v.Min())
+	}
+	if v.Max() != 7 {
+		t.Errorf("Max = %v", v.Max())
+	}
+	if v.Sum() != 9 {
+		t.Errorf("Sum = %v", v.Sum())
+	}
+}
+
+func TestVectorFill(t *testing.T) {
+	v := NewVector(4).Fill(2.5)
+	for _, x := range v {
+		if x != 2.5 {
+			t.Fatalf("Fill produced %v", v)
+		}
+	}
+}
+
+func TestVectorHasNaN(t *testing.T) {
+	if (Vector{1, 2}).HasNaN() {
+		t.Error("false positive NaN")
+	}
+	if !(Vector{1, math.NaN()}).HasNaN() {
+		t.Error("missed NaN")
+	}
+}
+
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	// |v·w| <= |v||w| for random vectors.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		v, w := make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			v[i] = rng.NormFloat64()
+			w[i] = rng.NormFloat64()
+		}
+		return math.Abs(v.Dot(w)) <= v.Norm2()*w.Norm2()*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constraint represents a scalar inequality constraint c(x) ≤ 0.
+type Constraint struct {
+	// Name labels the constraint in diagnostics.
+	Name string
+	// Func evaluates the constraint; feasible iff the result is ≤ 0.
+	Func func(x []float64) float64
+}
+
+// AugLagOptions tunes MinimizeAugLag. The zero value selects defaults.
+type AugLagOptions struct {
+	// Inner configures each inner unconstrained (box-only) solve.
+	Inner Options
+	// MaxOuter bounds the number of multiplier updates (default 10).
+	MaxOuter int
+	// InitialPenalty is the starting quadratic penalty weight (default 10).
+	InitialPenalty float64
+	// PenaltyGrowth multiplies the penalty when infeasibility does not
+	// shrink fast enough (default 10).
+	PenaltyGrowth float64
+	// FeasTolerance is the target maximum violation (default 1e-6).
+	FeasTolerance float64
+}
+
+func (o *AugLagOptions) withDefaults() AugLagOptions {
+	out := AugLagOptions{MaxOuter: 10, InitialPenalty: 10, PenaltyGrowth: 10, FeasTolerance: 1e-6}
+	if o == nil {
+		return out
+	}
+	out.Inner = o.Inner
+	if o.MaxOuter > 0 {
+		out.MaxOuter = o.MaxOuter
+	}
+	if o.InitialPenalty > 0 {
+		out.InitialPenalty = o.InitialPenalty
+	}
+	if o.PenaltyGrowth > 1 {
+		out.PenaltyGrowth = o.PenaltyGrowth
+	}
+	if o.FeasTolerance > 0 {
+		out.FeasTolerance = o.FeasTolerance
+	}
+	return out
+}
+
+// AugLagResult extends Result with constraint diagnostics.
+type AugLagResult struct {
+	Result
+	// MaxViolation is the largest constraint value max(c_i(x), 0) at X.
+	MaxViolation float64
+	// OuterIterations is the number of multiplier updates performed.
+	OuterIterations int
+	// Multipliers holds the final Lagrange-multiplier estimates, one per
+	// constraint.
+	Multipliers []float64
+}
+
+// MinimizeAugLag minimises p subject to cons[i].Func(x) ≤ 0 using the
+// classic augmented-Lagrangian (method of multipliers) with the PHR
+// (Powell–Hestenes–Rockafellar) update:
+//
+//	L(x; λ, μ) = f(x) + 1/(2μ) Σ ( max(0, λ_i + μ·c_i(x))² − λ_i² )
+//
+// Box constraints in p are handled natively by the inner solver.
+func MinimizeAugLag(p *Problem, cons []Constraint, x0 []float64, opts *AugLagOptions) (*AugLagResult, error) {
+	if err := p.validate(x0); err != nil {
+		return nil, err
+	}
+	for i, c := range cons {
+		if c.Func == nil {
+			return nil, fmt.Errorf("%w: constraint %d (%q) has nil Func", ErrBadProblem, i, c.Name)
+		}
+	}
+	o := opts.withDefaults()
+
+	lambda := make([]float64, len(cons))
+	mu := o.InitialPenalty
+	x := append([]float64(nil), x0...)
+
+	cvals := make([]float64, len(cons))
+	evalCons := func(pt []float64) float64 {
+		var worst float64
+		for i, c := range cons {
+			cvals[i] = c.Func(pt)
+			if v := cvals[i]; v > worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+
+	var (
+		last    *Result
+		totalFE int
+		outer   int
+	)
+	prevViol := math.Inf(1)
+	for outer = 0; outer < o.MaxOuter; outer++ {
+		muLocal, lambdaLocal := mu, append([]float64(nil), lambda...)
+		inner := &Problem{
+			Dim:   p.Dim,
+			Lower: p.Lower,
+			Upper: p.Upper,
+			Func: func(pt []float64) float64 {
+				v := p.Func(pt)
+				for i, c := range cons {
+					t := lambdaLocal[i] + muLocal*c.Func(pt)
+					if t > 0 {
+						v += (t*t - lambdaLocal[i]*lambdaLocal[i]) / (2 * muLocal)
+					} else {
+						v -= lambdaLocal[i] * lambdaLocal[i] / (2 * muLocal)
+					}
+				}
+				return v
+			},
+		}
+		r, err := Minimize(inner, x, &o.Inner)
+		if err != nil {
+			return nil, err
+		}
+		totalFE += r.FuncEvals
+		last = r
+		copy(x, r.X)
+
+		viol := evalCons(x)
+		// Multiplier update: λ ← max(0, λ + μ·c(x)).
+		for i := range lambda {
+			lambda[i] = math.Max(0, lambda[i]+mu*cvals[i])
+		}
+		if viol <= o.FeasTolerance {
+			outer++
+			break
+		}
+		// Grow the penalty when infeasibility stalls.
+		if viol > 0.25*prevViol {
+			mu *= o.PenaltyGrowth
+		}
+		prevViol = viol
+	}
+
+	out := &AugLagResult{
+		Result:          *last,
+		OuterIterations: outer,
+		Multipliers:     lambda,
+	}
+	out.X = x
+	out.F = p.Func(x)
+	out.FuncEvals = totalFE
+	out.MaxViolation = math.Max(0, evalCons(x))
+	return out, nil
+}
+
+// HingeSquared returns max(0, c)², the smooth one-sided penalty used for
+// soft path constraints in the MPC objective, and is shared here so
+// controllers and tests agree on the exact form.
+func HingeSquared(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return c * c
+}

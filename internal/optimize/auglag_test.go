@@ -1,0 +1,124 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAugLagCircleConstraint(t *testing.T) {
+	// Minimise (x-2)² + (y-2)² s.t. x² + y² ≤ 1.
+	// Solution: the boundary point (1/√2, 1/√2).
+	p := &Problem{Dim: 2, Func: quadratic([]float64{2, 2})}
+	cons := []Constraint{{
+		Name: "unit-circle",
+		Func: func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] - 1 },
+	}}
+	r, err := MinimizeAugLag(p, cons, []float64{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt2
+	if math.Abs(r.X[0]-want) > 1e-3 || math.Abs(r.X[1]-want) > 1e-3 {
+		t.Errorf("X = %v, want (%v, %v)", r.X, want, want)
+	}
+	if r.MaxViolation > 1e-4 {
+		t.Errorf("MaxViolation = %v", r.MaxViolation)
+	}
+}
+
+func TestAugLagInactiveConstraint(t *testing.T) {
+	// Constraint not binding: behaves like the unconstrained problem.
+	p := &Problem{Dim: 2, Func: quadratic([]float64{0.1, 0.1})}
+	cons := []Constraint{{
+		Func: func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] - 100 },
+	}}
+	r, err := MinimizeAugLag(p, cons, []float64{3, -3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-0.1) > 1e-4 || math.Abs(r.X[1]-0.1) > 1e-4 {
+		t.Errorf("X = %v, want (0.1, 0.1)", r.X)
+	}
+	if r.Multipliers[0] > 1e-6 {
+		t.Errorf("multiplier for inactive constraint = %v, want 0", r.Multipliers[0])
+	}
+}
+
+func TestAugLagLinearConstraintWithBox(t *testing.T) {
+	// Minimise (x+1)² + (y+1)² s.t. x + y ≥ 1 (i.e. 1-x-y ≤ 0), 0 ≤ x,y ≤ 5.
+	// Solution: x = y = 0.5.
+	p := &Problem{
+		Dim:   2,
+		Func:  quadratic([]float64{-1, -1}),
+		Lower: []float64{0, 0},
+		Upper: []float64{5, 5},
+	}
+	cons := []Constraint{{
+		Func: func(x []float64) float64 { return 1 - x[0] - x[1] },
+	}}
+	r, err := MinimizeAugLag(p, cons, []float64{2, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-0.5) > 1e-3 || math.Abs(r.X[1]-0.5) > 1e-3 {
+		t.Errorf("X = %v, want (0.5, 0.5)", r.X)
+	}
+}
+
+func TestAugLagValidation(t *testing.T) {
+	p := &Problem{Dim: 1, Func: quadratic([]float64{0})}
+	if _, err := MinimizeAugLag(p, []Constraint{{Func: nil}}, []float64{0}, nil); err == nil {
+		t.Error("nil constraint Func accepted")
+	}
+	if _, err := MinimizeAugLag(&Problem{Dim: 1}, nil, []float64{0}, nil); err == nil {
+		t.Error("nil objective accepted")
+	}
+}
+
+func TestAugLagNoConstraintsEqualsMinimize(t *testing.T) {
+	p := &Problem{Dim: 2, Func: quadratic([]float64{4, -4})}
+	r, err := MinimizeAugLag(p, nil, []float64{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-4) > 1e-4 || math.Abs(r.X[1]+4) > 1e-4 {
+		t.Errorf("X = %v, want (4, -4)", r.X)
+	}
+}
+
+func TestHingeSquared(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0},
+		{0, 0},
+		{2, 4},
+		{0.5, 0.25},
+	}
+	for _, tc := range cases {
+		if got := HingeSquared(tc.in); got != tc.want {
+			t.Errorf("HingeSquared(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestHingeSquaredProperties(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		h := HingeSquared(c)
+		if h < 0 {
+			return false
+		}
+		if c <= 0 && h != 0 {
+			return false
+		}
+		if c > 0 && h != c*c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

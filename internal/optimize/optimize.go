@@ -1,0 +1,446 @@
+// Package optimize implements the numerical optimisation kernel used by the
+// OTEM model-predictive controller: box-constrained quasi-Newton minimisation
+// (a projected L-BFGS in the spirit of L-BFGS-B), backtracking line search,
+// finite-difference gradients and an augmented-Lagrangian wrapper for
+// nonlinear inequality constraints.
+//
+// The paper solves its MPC problem (Eqs. 18–19) with a MATLAB NLP solver;
+// this package is the from-scratch substitute. It is deterministic and
+// allocation-conscious so it can run inside every control step of a
+// simulation.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes how a minimisation terminated.
+type Status int
+
+const (
+	// Converged means the projected-gradient norm dropped below tolerance.
+	Converged Status = iota
+	// MaxIterationsReached means the iteration budget was exhausted; the
+	// best point found so far is returned.
+	MaxIterationsReached
+	// LineSearchStalled means no further descent could be found; the best
+	// point found so far is returned.
+	LineSearchStalled
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case MaxIterationsReached:
+		return "max iterations reached"
+	case LineSearchStalled:
+		return "line search stalled"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem defines an objective to minimise, optionally with analytic
+// gradients and a box constraint l ≤ x ≤ u.
+type Problem struct {
+	// Dim is the number of decision variables.
+	Dim int
+	// Func evaluates the objective at x. Required.
+	Func func(x []float64) float64
+	// Grad writes the gradient of Func at x into grad. Optional; when nil a
+	// central finite difference of Func is used.
+	Grad func(x, grad []float64)
+	// Lower and Upper, when non-nil, bound each variable. A nil slice means
+	// unbounded on that side; individual entries may be ±Inf.
+	Lower, Upper []float64
+}
+
+// Options tunes the minimiser. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIterations bounds the outer quasi-Newton iterations (default 200).
+	MaxIterations int
+	// Tolerance is the convergence threshold on the infinity norm of the
+	// projected gradient step (default 1e-6).
+	Tolerance float64
+	// Memory is the number of curvature pairs retained by L-BFGS
+	// (default 8).
+	Memory int
+	// MaxLineSearch bounds backtracking steps per iteration (default 40).
+	MaxLineSearch int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxIterations: 200, Tolerance: 1e-6, Memory: 8, MaxLineSearch: 40}
+	if o == nil {
+		return out
+	}
+	if o.MaxIterations > 0 {
+		out.MaxIterations = o.MaxIterations
+	}
+	if o.Tolerance > 0 {
+		out.Tolerance = o.Tolerance
+	}
+	if o.Memory > 0 {
+		out.Memory = o.Memory
+	}
+	if o.MaxLineSearch > 0 {
+		out.MaxLineSearch = o.MaxLineSearch
+	}
+	return out
+}
+
+// Result reports the outcome of a minimisation.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// FuncEvals counts objective evaluations (including those used for
+	// finite-difference gradients).
+	FuncEvals int
+	// Status describes why iteration stopped.
+	Status Status
+}
+
+// ErrBadProblem is returned for structurally invalid problems (missing
+// objective, dimension mismatch, inconsistent bounds).
+var ErrBadProblem = errors.New("optimize: invalid problem definition")
+
+func (p *Problem) validate(x0 []float64) error {
+	if p.Func == nil {
+		return fmt.Errorf("%w: nil Func", ErrBadProblem)
+	}
+	if p.Dim <= 0 {
+		return fmt.Errorf("%w: Dim = %d", ErrBadProblem, p.Dim)
+	}
+	if len(x0) != p.Dim {
+		return fmt.Errorf("%w: len(x0) = %d, want %d", ErrBadProblem, len(x0), p.Dim)
+	}
+	if p.Lower != nil && len(p.Lower) != p.Dim {
+		return fmt.Errorf("%w: len(Lower) = %d, want %d", ErrBadProblem, len(p.Lower), p.Dim)
+	}
+	if p.Upper != nil && len(p.Upper) != p.Dim {
+		return fmt.Errorf("%w: len(Upper) = %d, want %d", ErrBadProblem, len(p.Upper), p.Dim)
+	}
+	if p.Lower != nil && p.Upper != nil {
+		for i := range p.Lower {
+			if p.Lower[i] > p.Upper[i] {
+				return fmt.Errorf("%w: Lower[%d]=%g > Upper[%d]=%g", ErrBadProblem, i, p.Lower[i], i, p.Upper[i])
+			}
+		}
+	}
+	return nil
+}
+
+// project clamps x into the problem's box in place.
+func (p *Problem) project(x []float64) {
+	if p.Lower != nil {
+		for i, lo := range p.Lower {
+			if x[i] < lo {
+				x[i] = lo
+			}
+		}
+	}
+	if p.Upper != nil {
+		for i, hi := range p.Upper {
+			if x[i] > hi {
+				x[i] = hi
+			}
+		}
+	}
+}
+
+// evaluator wraps the objective with counting and finite-difference
+// gradients when no analytic gradient is available.
+type evaluator struct {
+	p     *Problem
+	evals int
+	fdX   []float64 // scratch for finite differences
+}
+
+func (e *evaluator) value(x []float64) float64 {
+	e.evals++
+	return e.p.Func(x)
+}
+
+func (e *evaluator) gradient(x, grad []float64) {
+	if e.p.Grad != nil {
+		e.p.Grad(x, grad)
+		return
+	}
+	if e.fdX == nil {
+		e.fdX = make([]float64, len(x))
+	}
+	copy(e.fdX, x)
+	NumericGradient(func(y []float64) float64 {
+		e.evals++
+		return e.p.Func(y)
+	}, e.fdX, grad)
+	copy(e.fdX, x)
+}
+
+// Minimize finds a local minimiser of p starting at x0 using projected
+// L-BFGS. x0 is not modified. The returned Result always carries the best
+// point seen, even on MaxIterationsReached or LineSearchStalled.
+func Minimize(p *Problem, x0 []float64, opts *Options) (*Result, error) {
+	if err := p.validate(x0); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	n := p.Dim
+	ev := &evaluator{p: p}
+
+	x := append([]float64(nil), x0...)
+	p.project(x)
+	f := ev.value(x)
+	g := make([]float64, n)
+	ev.gradient(x, g)
+
+	// L-BFGS history ring buffers.
+	m := o.Memory
+	sHist := make([][]float64, 0, m)
+	yHist := make([][]float64, 0, m)
+	rhoHist := make([]float64, 0, m)
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+	alphaBuf := make([]float64, m)
+
+	res := &Result{X: x, F: f}
+	status := MaxIterationsReached
+
+	for iter := 0; iter < o.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		// Convergence test on the projected gradient step.
+		if projectedGradNorm(p, x, g) < o.Tolerance {
+			status = Converged
+			break
+		}
+
+		// Two-loop recursion for d = -H·g, restricted to free variables so
+		// bound-active coordinates do not pollute the curvature estimate.
+		twoLoop(dir, g, sHist, yHist, rhoHist, alphaBuf)
+		for i := range dir {
+			dir[i] = -dir[i]
+		}
+		// Ensure descent; fall back to steepest descent if the quasi-Newton
+		// direction is uphill (can happen right after history resets).
+		if dot(dir, g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+		}
+
+		// A unit quasi-Newton step is the right default once curvature
+		// information exists; before that, scale by the gradient so the
+		// first probe is O(1) rather than O(‖g‖).
+		alpha0 := 1.0
+		if len(sHist) == 0 {
+			if gn := normInf(g); gn > 1 {
+				alpha0 = 1 / gn
+			}
+		}
+		fNew, ok := e2lineSearch(ev, p, x, f, g, dir, xNew, o.MaxLineSearch, alpha0)
+		if !ok && len(sHist) > 0 {
+			// The quasi-Newton model went bad; drop the history and retry
+			// with a scaled steepest-descent step.
+			sHist = sHist[:0]
+			yHist = yHist[:0]
+			rhoHist = rhoHist[:0]
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+			if gn := normInf(g); gn > 1 {
+				alpha0 = 1 / gn
+			} else {
+				alpha0 = 1
+			}
+			fNew, ok = e2lineSearch(ev, p, x, f, g, dir, xNew, o.MaxLineSearch, alpha0)
+		}
+		if !ok {
+			status = LineSearchStalled
+			break
+		}
+		ev.gradient(xNew, gNew)
+
+		// Update curvature history with s = xNew-x, y = gNew-g.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		var sy float64
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+			sy += s[i] * y[i]
+		}
+		if sy > 1e-12*norm2(s)*norm2(y) && sy > 0 {
+			if len(sHist) == m {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+		}
+
+		copy(x, xNew)
+		copy(g, gNew)
+		f = fNew
+	}
+
+	res.X = x
+	res.F = f
+	res.FuncEvals = ev.evals
+	res.Status = status
+	return res, nil
+}
+
+// e2lineSearch performs a projected backtracking Armijo line search along
+// dir, writing the accepted point to xNew and returning its value.
+func e2lineSearch(ev *evaluator, p *Problem, x []float64, f float64, g, dir, xNew []float64, maxSteps int, alpha0 float64) (float64, bool) {
+	const c1 = 1e-4
+	alpha := alpha0
+	gd := dot(g, dir)
+	for step := 0; step < maxSteps; step++ {
+		for i := range xNew {
+			xNew[i] = x[i] + alpha*dir[i]
+		}
+		p.project(xNew)
+		// Effective step after projection.
+		var sg float64
+		moved := false
+		for i := range xNew {
+			d := xNew[i] - x[i]
+			if d != 0 {
+				moved = true
+			}
+			sg += d * g[i]
+		}
+		if !moved {
+			return f, false
+		}
+		fNew := ev.value(xNew)
+		// Armijo condition on the projected step; fall back to the raw
+		// direction slope when projection did not truncate the step.
+		slope := sg
+		if slope >= 0 {
+			slope = alpha * gd
+		}
+		if fNew <= f+c1*slope && fNew < f {
+			return fNew, true
+		}
+		// Plain decrease acceptance for very small steps avoids stalling on
+		// flat, noisy objectives.
+		if fNew < f-1e-14*(math.Abs(f)+1) && alpha < 1e-6 {
+			return fNew, true
+		}
+		alpha *= 0.5
+	}
+	return f, false
+}
+
+// twoLoop computes out = H·g using the standard L-BFGS two-loop recursion.
+func twoLoop(out, g []float64, s, y [][]float64, rho, alphaBuf []float64) {
+	copy(out, g)
+	k := len(s)
+	if k == 0 {
+		return
+	}
+	alpha := alphaBuf[:k]
+	for i := k - 1; i >= 0; i-- {
+		alpha[i] = rho[i] * dot(s[i], out)
+		axpy(out, -alpha[i], y[i])
+	}
+	// Initial Hessian scaling γ = sᵀy / yᵀy of the most recent pair.
+	gamma := 1.0
+	yy := dot(y[k-1], y[k-1])
+	if yy > 0 {
+		gamma = dot(s[k-1], y[k-1]) / yy
+	}
+	for i := range out {
+		out[i] *= gamma
+	}
+	for i := 0; i < k; i++ {
+		beta := rho[i] * dot(y[i], out)
+		axpy(out, alpha[i]-beta, s[i])
+	}
+}
+
+// projectedGradNorm returns ‖P(x − g) − x‖∞, the standard first-order
+// optimality measure for box-constrained problems.
+func projectedGradNorm(p *Problem, x, g []float64) float64 {
+	var m float64
+	for i := range x {
+		xi := x[i] - g[i]
+		if p.Lower != nil && xi < p.Lower[i] {
+			xi = p.Lower[i]
+		}
+		if p.Upper != nil && xi > p.Upper[i] {
+			xi = p.Upper[i]
+		}
+		if d := math.Abs(xi - x[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// NumericGradient writes a central-difference approximation of the gradient
+// of f at x into grad. x is used as scratch but restored before returning.
+func NumericGradient(f func([]float64) float64, x, grad []float64) {
+	if len(x) != len(grad) {
+		panic("optimize: NumericGradient length mismatch")
+	}
+	// h ~ cbrt(eps) balances truncation and rounding error for central
+	// differences.
+	const hBase = 6.055454452393343e-06 // cbrt(2^-52)
+	for i := range x {
+		xi := x[i]
+		h := hBase * (1 + math.Abs(xi))
+		x[i] = xi + h
+		fp := f(x)
+		x[i] = xi - h
+		fm := f(x)
+		x[i] = xi
+		grad[i] = (fp - fm) / (2 * h)
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+func axpy(dst []float64, alpha float64, src []float64) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+func normInf(a []float64) float64 {
+	var m float64
+	for _, x := range a {
+		if ax := math.Abs(x); ax > m {
+			m = ax
+		}
+	}
+	return m
+}
+
+func norm2(a []float64) float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+func BenchmarkRunBatteryDirect(b *testing.B) {
+	requests := make([]float64, 600)
+	for i := range requests {
+		requests[i] = 20e3
+	}
+	ctrl := constController{"bench", Action{Arch: ArchBatteryDirect}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plant, err := NewPlant(PlantConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(plant, ctrl, requests, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunParallel(b *testing.B) {
+	requests := make([]float64, 600)
+	for i := range requests {
+		requests[i] = 20e3
+	}
+	ctrl := constController{"bench", Action{Arch: ArchParallel}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plant, err := NewPlant(PlantConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(plant, ctrl, requests, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

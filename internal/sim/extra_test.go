@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cooling"
+	"repro/internal/hees"
+	"repro/internal/units"
+)
+
+func TestTraceWriteCSV(t *testing.T) {
+	p := newTestPlant(t)
+	requests := []float64{5e3, 10e3, -5e3}
+	res, err := Run(p, constController{"b", Action{Arch: ArchBatteryDirect}}, requests, Config{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("csv lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,power_request_w") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "battery_heat_w") {
+		t.Error("heat column missing")
+	}
+	// Every row must have the same number of columns as the header.
+	want := strings.Count(lines[0], ",")
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",") != want {
+			t.Errorf("row %d has wrong column count: %q", i, l)
+		}
+	}
+}
+
+func TestNewPlantRejectsBadConfig(t *testing.T) {
+	if _, err := NewPlant(PlantConfig{InitialSoC: -0.5}); err == nil {
+		t.Error("negative SoC accepted")
+	}
+	if _, err := NewPlant(PlantConfig{UltracapF: -1}); err == nil {
+		t.Error("negative capacitance accepted")
+	}
+	badCool := cooling.DefaultParams()
+	badCool.HBC = -1
+	if _, err := NewPlant(PlantConfig{Cooling: &badCool}); err == nil {
+		t.Error("invalid cooling params accepted")
+	}
+}
+
+func TestExecuteActionUnknownArchFallsBack(t *testing.T) {
+	p := newTestPlant(t)
+	res, err := Run(p, constController{"bad", Action{Arch: ArchKind(42)}}, []float64{10e3, 10e3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine must fall back to the battery and count it.
+	if res.FallbackSteps != 2 {
+		t.Errorf("FallbackSteps = %d, want 2", res.FallbackSteps)
+	}
+	if res.FinalSoC >= 1.0 {
+		t.Error("fallback did not serve the load")
+	}
+}
+
+func TestExecuteActionHybridChargeClamp(t *testing.T) {
+	// A near-full capacitor cannot absorb a huge charging command; the
+	// clamp keeps the step feasible and counts the intervention.
+	p, err := NewPlant(PlantConfig{InitialSoE: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := Action{Arch: ArchHybrid, CapBusPower: -80e3}
+	res, err := Run(p, constController{"chg", act}, []float64{5e3, 5e3, 5e3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FallbackSteps == 0 {
+		t.Error("headroom clamp not recorded")
+	}
+	if res.FinalSoE > 1 {
+		t.Errorf("SoE exceeded 1: %v", res.FinalSoE)
+	}
+}
+
+func TestExecuteActionParallelInfeasibleFallsBack(t *testing.T) {
+	// An absurd load makes the parallel bus collapse; the engine clamps to
+	// the battery's capability rather than crashing.
+	p, err := NewPlant(PlantConfig{InitialSoC: 0.25, InitialSoE: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests := []float64{400e3}
+	res, err := Run(p, constController{"huge", Action{Arch: ArchParallel}}, requests, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FallbackSteps != 1 {
+		t.Errorf("FallbackSteps = %d, want 1", res.FallbackSteps)
+	}
+}
+
+func TestExecuteActionDualChargeOverfullCap(t *testing.T) {
+	// DualBatteryCharge against a full capacitor: the overflow is clamped
+	// inside the bank; the run proceeds.
+	p, err := NewPlant(PlantConfig{InitialSoE: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := Action{Arch: ArchDual, DualMode: hees.DualBatteryCharge, DualChargePower: 10e3}
+	res, err := Run(p, constController{"dc", act}, []float64{5e3, 5e3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalSoE > 1 {
+		t.Errorf("SoE exceeded 1: %v", res.FinalSoE)
+	}
+}
+
+func TestClampInlet(t *testing.T) {
+	loop, err := cooling.NewLoop(cooling.DefaultParams(), units.CToK(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above coolant: clamp down to coolant temperature.
+	if got := clampInlet(loop, units.CToK(50)); got != loop.CoolantTemp {
+		t.Errorf("warm inlet clamp = %v, want %v", got, loop.CoolantTemp)
+	}
+	// Below the feasible floor: clamp up.
+	if got := clampInlet(loop, 0); got != loop.MinFeasibleInlet() {
+		t.Errorf("cold inlet clamp = %v, want %v", got, loop.MinFeasibleInlet())
+	}
+	// Feasible passes through.
+	mid := (loop.MinFeasibleInlet() + loop.CoolantTemp) / 2
+	if got := clampInlet(loop, mid); got != mid {
+		t.Errorf("feasible inlet altered: %v -> %v", mid, got)
+	}
+}

@@ -1,0 +1,417 @@
+// Package sim is the driving-time simulation engine implementing the outer
+// loop of the paper's Algorithm 1: at each time step the controller observes
+// the plant state and the predicted EV power requests, decides how to
+// actuate the HEES and the active cooling system, and the engine advances
+// the physical models and accumulates Q_loss and the HEES energy.
+//
+// The engine is controller-agnostic: the baselines (parallel, active
+// cooling, dual) and the OTEM MPC all implement the same Controller
+// interface, so every experiment runs the identical plant.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cooling"
+	"repro/internal/hees"
+	"repro/internal/ultracap"
+)
+
+// Plant bundles the physical system under control.
+type Plant struct {
+	// HEES holds the battery, ultracapacitor and converters.
+	HEES *hees.System
+	// Loop is the thermal model (battery + coolant nodes); its battery
+	// temperature is mirrored into the battery pack each step.
+	Loop *cooling.Loop
+	// Ambient is the outside-air temperature in kelvin (used when a
+	// controller leaves the cooling system off).
+	Ambient float64
+	// DT is the integration/control period in seconds.
+	DT float64
+}
+
+// Validate reports an error for an incomplete plant.
+func (p *Plant) Validate() error {
+	switch {
+	case p.HEES == nil:
+		return errors.New("sim: plant has no HEES")
+	case p.Loop == nil:
+		return errors.New("sim: plant has no cooling loop")
+	case p.Ambient <= 0:
+		return fmt.Errorf("sim: ambient %g K invalid", p.Ambient)
+	case p.DT <= 0:
+		return fmt.Errorf("sim: dt %g invalid", p.DT)
+	}
+	return nil
+}
+
+// ArchKind selects how an Action drives the HEES.
+type ArchKind int
+
+const (
+	// ArchParallel executes the passive parallel architecture (Eqs. 10–13).
+	ArchParallel ArchKind = iota
+	// ArchBatteryDirect connects only the battery, with no converter — the
+	// pure active-cooling baseline's storage path.
+	ArchBatteryDirect
+	// ArchDual executes the switched dual architecture.
+	ArchDual
+	// ArchHybrid executes the converter-coupled hybrid architecture.
+	ArchHybrid
+)
+
+// String implements fmt.Stringer.
+func (k ArchKind) String() string {
+	switch k {
+	case ArchParallel:
+		return "parallel"
+	case ArchBatteryDirect:
+		return "battery-direct"
+	case ArchDual:
+		return "dual"
+	case ArchHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("ArchKind(%d)", int(k))
+	}
+}
+
+// Action is one step's actuation decision.
+type Action struct {
+	// Arch selects the storage path.
+	Arch ArchKind
+	// CapBusPower is the ultracapacitor bus power command for ArchHybrid
+	// (positive discharge, negative pre-charge); the battery covers the
+	// remainder of the request.
+	CapBusPower float64
+	// DualMode and DualChargePower configure ArchDual.
+	DualMode hees.DualMode
+	// DualChargePower is the capacitor recharge power in DualBatteryCharge
+	// mode, watts.
+	DualChargePower float64
+	// CoolingOn runs the pump; when false the pack is passively coupled to
+	// ambient.
+	CoolingOn bool
+	// InletTemp is the commanded coolant inlet temperature T_i (kelvin)
+	// while cooling is on; the plant clamps it to the feasible range
+	// (constraints C2/C3).
+	InletTemp float64
+}
+
+// Controller decides the actuation at every step of Algorithm 1.
+type Controller interface {
+	// Name identifies the methodology in results and traces.
+	Name() string
+	// Decide returns the action for the current step. forecast[0] is the
+	// present power request P_e^t in watts; the remaining entries are the
+	// estimated requests for future steps (the MPC control window). The
+	// controller must not mutate the plant.
+	Decide(p *Plant, forecast []float64) Action
+}
+
+// Trace records per-step signals for the figure-style experiments.
+type Trace struct {
+	// Time holds the step start times, seconds.
+	Time []float64
+	// PowerRequest is P_e per step, watts.
+	PowerRequest []float64
+	// BatteryTemp and CoolantTemp are kelvin.
+	BatteryTemp, CoolantTemp []float64
+	// SoC and SoE are fractions.
+	SoC, SoE []float64
+	// CoolerPower is the cooling system electrical power (cooler + pump), W.
+	CoolerPower []float64
+	// BatteryPower is the battery terminal power, W.
+	BatteryPower []float64
+	// CapPower is the ultracapacitor terminal power, W.
+	CapPower []float64
+	// BatteryHeat is the internal heat generation Q_b, W.
+	BatteryHeat []float64
+}
+
+func (tr *Trace) append(t, pe, tb, tc, soc, soe, pcool, pbatt, pcap, qb float64) {
+	tr.Time = append(tr.Time, t)
+	tr.PowerRequest = append(tr.PowerRequest, pe)
+	tr.BatteryTemp = append(tr.BatteryTemp, tb)
+	tr.CoolantTemp = append(tr.CoolantTemp, tc)
+	tr.SoC = append(tr.SoC, soc)
+	tr.SoE = append(tr.SoE, soe)
+	tr.CoolerPower = append(tr.CoolerPower, pcool)
+	tr.BatteryPower = append(tr.BatteryPower, pbatt)
+	tr.CapPower = append(tr.CapPower, pcap)
+	tr.BatteryHeat = append(tr.BatteryHeat, qb)
+}
+
+// Result aggregates one simulated route (the outputs of Algorithm 1 plus
+// the derived metrics the paper reports).
+type Result struct {
+	// Controller is the methodology name.
+	Controller string
+	// Steps is the number of simulated steps; DT their length in seconds.
+	Steps int
+	// DT is the step length in seconds.
+	DT float64
+
+	// QlossPct is the accumulated battery capacity loss (Algorithm 1
+	// output Q_loss), percent of rated capacity.
+	QlossPct float64
+	// HEESEnergyJ is the accumulated energy drawn from the storages
+	// including internal and converter losses (Algorithm 1 output Energy),
+	// joules. Cooling-system consumption is folded in, because the cooler
+	// and pump draw from the same bus.
+	HEESEnergyJ float64
+	// CoolingEnergyJ is the cooling subsystem's share of the consumption,
+	// joules.
+	CoolingEnergyJ float64
+	// AvgPowerW is HEESEnergyJ divided by the route duration — the paper's
+	// Fig. 9 / Table I "average power" metric.
+	AvgPowerW float64
+	// MaxBatteryTemp is the peak T_b over the route, kelvin.
+	MaxBatteryTemp float64
+	// AvgBatteryTemp is the time-averaged T_b, kelvin.
+	AvgBatteryTemp float64
+	// ThermalViolationSec counts seconds with T_b above the safe limit
+	// (constraint C1).
+	ThermalViolationSec float64
+	// FallbackSteps counts steps where the commanded action was infeasible
+	// and the engine fell back to the battery path.
+	FallbackSteps int
+	// FinalSoC and FinalSoE are the terminal storage states, fractions.
+	FinalSoC, FinalSoE float64
+	// Trace is per-step data when tracing was enabled, else nil.
+	Trace *Trace
+}
+
+// BLTRatio returns the battery-lifetime figure used in the paper's Fig. 8:
+// the capacity loss of this run relative to a baseline run (lower is
+// better; the baseline is 1.0 by construction).
+func (r Result) BLTRatio(baseline Result) float64 {
+	if baseline.QlossPct == 0 {
+		return math.Inf(1)
+	}
+	return r.QlossPct / baseline.QlossPct
+}
+
+// LifetimeExtensionPct converts the capacity-loss reduction into the BLT
+// improvement the paper headlines: driving the same route repeatedly, the
+// time to reach end-of-life (20 % capacity loss, §I) scales inversely with
+// the per-route loss.
+func (r Result) LifetimeExtensionPct(baseline Result) float64 {
+	if r.QlossPct == 0 {
+		return math.Inf(1)
+	}
+	return (baseline.QlossPct/r.QlossPct - 1) * 100
+}
+
+// Config tunes a simulation run.
+type Config struct {
+	// RecordTrace enables per-step trace capture.
+	RecordTrace bool
+	// Horizon is how many future samples are shown to the controller
+	// (≥ 1; the first entry is the current step).
+	Horizon int
+}
+
+// Run simulates the power-request series through the plant under the given
+// controller — the paper's Algorithm 1. The plant is mutated in place.
+func Run(plant *Plant, ctrl Controller, requests []float64, cfg Config) (Result, error) {
+	if err := plant.Validate(); err != nil {
+		return Result{}, err
+	}
+	if ctrl == nil {
+		return Result{}, errors.New("sim: nil controller")
+	}
+	if len(requests) == 0 {
+		return Result{}, errors.New("sim: empty request series")
+	}
+	horizon := cfg.Horizon
+	if horizon < 1 {
+		horizon = 1
+	}
+
+	res := Result{Controller: ctrl.Name(), Steps: len(requests), DT: plant.DT}
+	if cfg.RecordTrace {
+		res.Trace = &Trace{}
+	}
+	forecast := make([]float64, horizon)
+	safe := plant.HEES.Battery.Cell.SafeTemp
+
+	var tempSum float64
+	for t, pe := range requests {
+		// Mirror the thermal state into the battery model before deciding.
+		plant.HEES.Battery.Temp = plant.Loop.BatteryTemp
+
+		// Build the forecast window (zero-padded past the route end,
+		// matching Algorithm 1 lines 11–12).
+		for k := 0; k < horizon; k++ {
+			if t+k < len(requests) {
+				forecast[k] = requests[t+k]
+			} else {
+				forecast[k] = 0
+			}
+		}
+
+		act := ctrl.Decide(plant, forecast)
+
+		// Cooling electrical power is drawn from the same bus, so it adds
+		// to the storage load.
+		var coolPower float64
+		if act.CoolingOn {
+			coolPower = plant.Loop.CoolerPowerFor(
+				clampInlet(plant.Loop, act.InletTemp)) + plant.Loop.Params.PumpPower
+		}
+		load := pe + coolPower
+
+		rep, fellBack := executeAction(plant, act, load)
+		// Advance the thermal network with the battery heat of this step.
+		var coolRes cooling.StepResult
+		var err error
+		if act.CoolingOn {
+			coolRes, err = plant.Loop.StepActive(rep.Batt.HeatRate, act.InletTemp, plant.DT)
+		} else {
+			coolRes, err = plant.Loop.StepPassive(rep.Batt.HeatRate, plant.Ambient, plant.DT)
+		}
+		if err != nil {
+			return res, fmt.Errorf("sim: thermal step %d: %w", t, err)
+		}
+		plant.HEES.Battery.Temp = plant.Loop.BatteryTemp
+
+		// Accumulate Algorithm 1 outputs (lines 17–18).
+		stepCool := (coolRes.CoolerPower + coolRes.PumpPower) * plant.DT
+		res.QlossPct += rep.Batt.AgingPct
+		res.HEESEnergyJ += rep.HEESEnergyJ
+		res.CoolingEnergyJ += stepCool
+		if fellBack {
+			res.FallbackSteps++
+		}
+		tb := plant.Loop.BatteryTemp
+		tempSum += tb
+		if tb > res.MaxBatteryTemp {
+			res.MaxBatteryTemp = tb
+		}
+		if tb > safe {
+			res.ThermalViolationSec += plant.DT
+		}
+		if res.Trace != nil {
+			res.Trace.append(float64(t)*plant.DT, pe, tb, plant.Loop.CoolantTemp,
+				plant.HEES.Battery.SoC, plant.HEES.Cap.SoE,
+				coolRes.CoolerPower+coolRes.PumpPower,
+				rep.Batt.TerminalVoltage*rep.Batt.Current,
+				rep.Cap.TerminalVoltage*rep.Cap.Current,
+				rep.Batt.HeatRate)
+		}
+	}
+
+	duration := float64(res.Steps) * plant.DT
+	res.AvgPowerW = res.HEESEnergyJ / duration
+	res.AvgBatteryTemp = tempSum / float64(res.Steps)
+	res.FinalSoC = plant.HEES.Battery.SoC
+	res.FinalSoE = plant.HEES.Cap.SoE
+	return res, nil
+}
+
+// executeAction runs the storage step, falling back to the battery path on
+// infeasible commands so baseline policies cannot crash the route.
+func executeAction(plant *Plant, act Action, load float64) (hees.StepReport, bool) {
+	s := plant.HEES
+	dt := plant.DT
+	var (
+		rep hees.StepReport
+		err error
+	)
+	switch act.Arch {
+	case ArchParallel:
+		rep, err = s.StepParallel(load, dt)
+	case ArchBatteryDirect:
+		rep, err = stepBatteryDirect(s, load, dt)
+	case ArchDual:
+		rep, err = s.StepDual(act.DualMode, load, act.DualChargePower, dt)
+		if errors.Is(err, ultracap.ErrEmpty) {
+			// Depleted capacitor: complete the step on the battery.
+			rep, err = stepBatteryDirect(s, load, dt)
+			if err == nil {
+				return rep, true
+			}
+		}
+	case ArchHybrid:
+		// Clamp the capacitor command to what the bank can actually deliver
+		// or absorb during this step — power capability AND stored energy —
+		// before the battery branch is committed, so the bus balance stays
+		// energy-conserving even when the controller's model has drifted.
+		capBus := act.CapBusPower
+		requested := capBus
+		if capBus > 0 {
+			// 0.97 margin keeps the quadratic solve away from its marginal
+			// (50 %-efficiency) root where rounding makes it infeasible.
+			if maxP := 0.97 * s.CapMaxBusPower(); capBus > maxP {
+				capBus = maxP
+			}
+			vcap := s.Cap.Voltage()
+			// Storage-side energy available this step, viewed at the bus.
+			if maxByEnergy := s.CapConv.BusPower(s.Cap.StoredEnergy()/dt, vcap); capBus > maxByEnergy {
+				capBus = maxByEnergy
+			}
+			if capBus < 0 {
+				capBus = 0
+			}
+		} else if capBus < 0 {
+			// Charging: the storage receives |busP|·η, bounded by headroom.
+			eta := s.CapConv.Efficiency(s.Cap.Voltage())
+			if maxAbsorb := s.Cap.HeadroomEnergy() / dt / eta; -capBus > maxAbsorb {
+				capBus = -maxAbsorb
+			}
+		}
+		clamped := math.Abs(capBus-requested) > 1
+		rep, err = s.StepHybrid(load-capBus, capBus, dt)
+		if err == nil && clamped {
+			return rep, true
+		}
+		if errors.Is(err, ultracap.ErrEmpty) {
+			return rep, true // residual rounding; the shortfall is ≤ the ESR loss
+		}
+	default:
+		err = fmt.Errorf("sim: unknown arch %v", act.Arch)
+	}
+	if err == nil {
+		return rep, false
+	}
+	// Last-resort fallback: battery alone, clamped to its capability.
+	rep2, err2 := stepBatteryDirect(s, load, dt)
+	if err2 != nil {
+		// Clamp to whatever the battery can deliver.
+		maxP := s.Battery.MaxDischargePower() * 0.99
+		if load > maxP {
+			rep2, err2 = stepBatteryDirect(s, maxP, dt)
+		}
+		if err2 != nil {
+			return hees.StepReport{}, true
+		}
+	}
+	return rep2, true
+}
+
+func stepBatteryDirect(s *hees.System, load, dt float64) (hees.StepReport, error) {
+	battRes, err := s.Battery.Step(load, dt)
+	if err != nil {
+		return hees.StepReport{}, err
+	}
+	return hees.StepReport{
+		Batt:        battRes,
+		HEESEnergyJ: battRes.ChemicalEnergy,
+		BusVoltage:  battRes.TerminalVoltage,
+	}, nil
+}
+
+func clampInlet(l *cooling.Loop, ti float64) float64 {
+	lo := l.MinFeasibleInlet()
+	if ti < lo {
+		return lo
+	}
+	if ti > l.CoolantTemp {
+		return l.CoolantTemp
+	}
+	return ti
+}

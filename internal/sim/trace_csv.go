@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises the trace with one row per step and a header, for
+// external plotting of the figure-style experiments.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"time_s", "power_request_w", "battery_temp_k", "coolant_temp_k",
+		"soc", "soe", "cooling_power_w", "battery_power_w", "cap_power_w",
+		"battery_heat_w",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("sim: trace header: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	for i := range tr.Time {
+		rec := []string{
+			f(tr.Time[i]), f(tr.PowerRequest[i]), f(tr.BatteryTemp[i]), f(tr.CoolantTemp[i]),
+			f(tr.SoC[i]), f(tr.SoE[i]), f(tr.CoolerPower[i]), f(tr.BatteryPower[i]), f(tr.CapPower[i]),
+			f(tr.BatteryHeat[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sim: trace row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,95 @@
+// Package units collects physical constants and small unit-conversion
+// helpers shared by the electro-thermal models. Everything in this module is
+// SI unless a name says otherwise: temperatures in kelvin, energy in joules,
+// power in watts, charge in coulombs.
+package units
+
+import "math"
+
+// Physical constants.
+const (
+	// GasConstant is the ideal gas constant R in J/(mol·K), used by the
+	// Arrhenius capacity-loss model (paper Eq. 5).
+	GasConstant = 8.314462618
+
+	// Gravity is the standard gravitational acceleration in m/s².
+	Gravity = 9.80665
+
+	// AirDensity is the density of air at sea level and 15 °C in kg/m³,
+	// used by the vehicle road-load model.
+	AirDensity = 1.225
+
+	// ZeroCelsius is 0 °C expressed in kelvin.
+	ZeroCelsius = 273.15
+)
+
+// Common time conversions.
+const (
+	SecondsPerHour = 3600.0
+	HoursPerSecond = 1.0 / 3600.0
+)
+
+// CToK converts a temperature from degrees Celsius to kelvin.
+func CToK(c float64) float64 { return c + ZeroCelsius }
+
+// KToC converts a temperature from kelvin to degrees Celsius.
+func KToC(k float64) float64 { return k - ZeroCelsius }
+
+// KmhToMs converts a speed from km/h to m/s.
+func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
+
+// MsToKmh converts a speed from m/s to km/h.
+func MsToKmh(ms float64) float64 { return ms * 3.6 }
+
+// MphToMs converts a speed from miles/hour to m/s.
+func MphToMs(mph float64) float64 { return mph * 0.44704 }
+
+// MsToMph converts a speed from m/s to miles/hour.
+func MsToMph(ms float64) float64 { return ms / 0.44704 }
+
+// AhToCoulomb converts a charge from ampere-hours to coulombs.
+func AhToCoulomb(ah float64) float64 { return ah * SecondsPerHour }
+
+// CoulombToAh converts a charge from coulombs to ampere-hours.
+func CoulombToAh(c float64) float64 { return c * HoursPerSecond }
+
+// WhToJoule converts energy from watt-hours to joules.
+func WhToJoule(wh float64) float64 { return wh * SecondsPerHour }
+
+// JouleToWh converts energy from joules to watt-hours.
+func JouleToWh(j float64) float64 { return j * HoursPerSecond }
+
+// JouleToKWh converts energy from joules to kilowatt-hours.
+func JouleToKWh(j float64) float64 { return j / 3.6e6 }
+
+// Clamp limits x to the closed interval [lo, hi]. It panics if lo > hi.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("units: Clamp called with lo > hi")
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a and b with parameter t in [0, 1].
+// Values of t outside [0, 1] extrapolate.
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// ApproxEqual reports whether a and b are equal within a combined
+// absolute/relative tolerance tol. It treats NaN as unequal to everything.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

@@ -1,0 +1,184 @@
+// Package otem is the public API of the OTEM reproduction: optimized
+// thermal and energy management for hybrid electrical energy storage in
+// electric vehicles (Vatanparvar & Al Faruque, DATE 2016).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - construct a plant (battery pack + ultracapacitor + converters +
+//     active cooling loop) with NewPlant,
+//   - construct the OTEM model-predictive controller with New, or a
+//     state-of-the-art baseline with Baseline,
+//   - obtain EV power-request series from standard drive cycles with
+//     PowerSeries,
+//   - simulate a route with Simulate, or run a canned paper experiment
+//     with Run.
+//
+// A minimal session:
+//
+//	requests, _ := otem.PowerSeries("US06", 5)
+//	plant, _ := otem.NewPlant(otem.PlantConfig{})
+//	ctrl, _ := otem.New(otem.DefaultConfig())
+//	res, _ := otem.Simulate(plant, ctrl, requests)
+//	fmt.Println(res.QlossPct, res.AvgPowerW)
+package otem
+
+import (
+	"repro/internal/core"
+	"repro/internal/drivecycle"
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/lifetime"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// Core types, aliased from the implementation packages so their documented
+// fields and methods are part of the public API.
+type (
+	// Config tunes the OTEM controller (horizon, Eq. 19 weights, …).
+	Config = core.Config
+	// OTEM is the model-predictive controller (implements Controller).
+	OTEM = core.OTEM
+	// PlantConfig selects the experimental system (pack topology,
+	// ultracapacitor size, initial conditions).
+	PlantConfig = sim.PlantConfig
+	// Plant is the simulated physical system.
+	Plant = sim.Plant
+	// Controller is the driving-time decision interface shared by OTEM and
+	// the baselines.
+	Controller = sim.Controller
+	// Result summarises one simulated route (Algorithm 1 outputs).
+	Result = sim.Result
+	// Trace holds per-step signals when tracing is enabled.
+	Trace = sim.Trace
+	// RunSpec names a canned experiment run (methodology × cycle × size).
+	RunSpec = experiments.RunSpec
+	// VehicleParams is the EV road-load model used to derive power requests.
+	VehicleParams = vehicle.Params
+)
+
+// DefaultConfig returns the controller configuration used for the paper
+// experiments.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New constructs the OTEM controller. A zero Config selects DefaultConfig.
+func New(cfg Config) (*OTEM, error) { return core.New(cfg) }
+
+// NewPlant builds a plant; zero fields of the config take the paper's
+// experimental defaults (96S24P NCR18650A pack, 25 kF bank, 298 K).
+func NewPlant(cfg PlantConfig) (*Plant, error) { return sim.NewPlant(cfg) }
+
+// Baseline constructs one of the paper's comparison methodologies by name:
+// "parallel", "cooling", "dual" or "battery".
+func Baseline(name string) (Controller, error) { return policy.ByName(name) }
+
+// MidSizeEV returns the road-load parameters of the experiments' vehicle.
+func MidSizeEV() VehicleParams { return vehicle.MidSizeEV() }
+
+// PowerSeries returns the bus power-request series for a named standard
+// drive cycle ("US06", "UDDS", "HWFET", "NYCC", "LA92", "SC03") repeated
+// the given number of times, using the MidSizeEV road-load model.
+func PowerSeries(cycleName string, repeats int) ([]float64, error) {
+	c, err := drivecycle.ByName(cycleName)
+	if err != nil {
+		return nil, err
+	}
+	if repeats > 1 {
+		c = c.Repeat(repeats)
+	}
+	return vehicle.MidSizeEV().PowerSeries(c), nil
+}
+
+// SimOptions tunes Simulate.
+type SimOptions struct {
+	// RecordTrace captures per-step signals into Result.Trace.
+	RecordTrace bool
+	// Horizon overrides the forecast window handed to the controller
+	// (defaults to the OTEM default horizon).
+	Horizon int
+}
+
+// Simulate runs the power-request series through the plant under the given
+// controller (the paper's Algorithm 1) and returns the route summary. The
+// plant is mutated in place.
+func Simulate(plant *Plant, ctrl Controller, requests []float64, opts ...SimOptions) (Result, error) {
+	cfg := sim.Config{Horizon: core.DefaultConfig().Horizon}
+	if len(opts) > 0 {
+		cfg.RecordTrace = opts[0].RecordTrace
+		if opts[0].Horizon > 0 {
+			cfg.Horizon = opts[0].Horizon
+		}
+	}
+	return sim.Run(plant, ctrl, requests, cfg)
+}
+
+// Run executes one canned experiment specification (fresh default plant and
+// vehicle), as used by the paper-reproduction suite.
+func Run(spec RunSpec) (Result, error) { return experiments.Run(spec) }
+
+// CycleNames lists the available standard drive cycles.
+func CycleNames() []string { return drivecycle.Names() }
+
+// Cycle is a speed-versus-time trace; obtain standard ones with CycleByName
+// or build custom ones with Synthesize.
+type Cycle = drivecycle.Cycle
+
+// SynthConfig parameterises the random micro-trip cycle synthesiser.
+type SynthConfig = drivecycle.SynthConfig
+
+// CycleByName returns a standard drive cycle ("US06", "UDDS", …).
+func CycleByName(name string) (*Cycle, error) { return drivecycle.ByName(name) }
+
+// Synthesize generates a deterministic random drive cycle from the
+// configuration (see DefaultSynthConfig).
+func Synthesize(cfg SynthConfig) (*Cycle, error) { return drivecycle.Synthesize(cfg) }
+
+// DefaultSynthConfig returns a moderate suburban synthesis profile for the
+// given seed.
+func DefaultSynthConfig(seed int64) SynthConfig { return drivecycle.DefaultSynthConfig(seed) }
+
+// PowerSeriesFor converts any cycle into a bus power-request series with
+// the MidSizeEV road-load model.
+func PowerSeriesFor(c *Cycle) []float64 { return vehicle.MidSizeEV().PowerSeries(c) }
+
+// PowerSeriesAt is PowerSeries at an explicit ambient temperature (kelvin):
+// the vehicle's HVAC load for that climate is added to every sample.
+func PowerSeriesAt(cycleName string, repeats int, ambientK float64) ([]float64, error) {
+	c, err := drivecycle.ByName(cycleName)
+	if err != nil {
+		return nil, err
+	}
+	if repeats > 1 {
+		c = c.Repeat(repeats)
+	}
+	return vehicle.MidSizeEV().PowerSeriesAt(c, ambientK), nil
+}
+
+// LifetimeConfig tunes a routes-to-end-of-life projection.
+type LifetimeConfig = lifetime.Config
+
+// LifetimeProjection is the outcome of ProjectLifetime.
+type LifetimeProjection = lifetime.Projection
+
+// ProjectLifetime projects the battery to end of life (20 % capacity loss)
+// driving the given request series repeatedly under a controller built by
+// newController, carrying capacity fade and impedance growth forward.
+func ProjectLifetime(plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig) (*LifetimeProjection, error) {
+	return lifetime.Project(
+		lifetime.DefaultPlantFactory(plantCfg),
+		func() (sim.Controller, error) { return newController() },
+		requests, cfg)
+}
+
+// DSEConfig tunes a design-space exploration; DSEResult carries the grid
+// and its Pareto frontier.
+type (
+	DSEConfig = dse.Config
+	DSEResult = dse.Result
+)
+
+// ExploreDesigns sweeps ultracapacitor size × cooler capacity under the
+// OTEM controller and extracts the cost-vs-capacity-loss Pareto frontier —
+// the design-space exploration the paper defers to future work.
+func ExploreDesigns(cfg DSEConfig) (*DSEResult, error) { return dse.Explore(cfg) }
