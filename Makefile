@@ -1,0 +1,36 @@
+# Gates for the OTEM reproduction. `make check` is the tier-1 bar every
+# change must clear; `make race` is the concurrency bar for the batch
+# engine and the grids that run on it.
+
+GO ?= go
+
+.PHONY: build test check race race-grids bench vet fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test: build
+	$(GO) test ./...
+
+# Tier-1: everything compiles, vet is clean, the full suite passes.
+check: vet test
+
+# The full suite under the race detector (slow: MPC-heavy tests included).
+race:
+	$(GO) test -race ./...
+
+# Race-enabled runs of just the batch-engine-heavy paths: the runner
+# itself, the Fig. 8/9 sweep and Table I grids, the DSE grid and the
+# facade batch API.
+race-grids:
+	$(GO) test -race -run 'Runner|Pool|Map|Cancel|Panic|Sweep|TableI|Explore|Batch|Progress' \
+		./internal/runner ./internal/experiments ./internal/dse ./otem
+
+bench:
+	$(GO) test -bench 'Batch' -benchtime 1x ./internal/experiments

@@ -1,20 +1,25 @@
 // Command otem-dse explores the HEES + cooling design space the paper
 // defers: ultracapacitor size × cooler capacity under the OTEM controller,
 // pricing each design and printing the cost-vs-battery-life Pareto
-// frontier.
+// frontier. The grid runs on the bounded worker pool (-parallel caps the
+// fan-out) and Ctrl-C cancels the exploration mid-grid.
 //
 // Usage:
 //
-//	otem-dse -cycle US06 -repeats 3 -slack 1.10
+//	otem-dse -cycle US06 -repeats 3 -slack 1.10 -parallel 4
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"repro/internal/dse"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -22,14 +27,32 @@ func main() {
 	log.SetPrefix("otem-dse: ")
 
 	var (
-		cycle   = flag.String("cycle", "US06", "drive cycle")
-		repeats = flag.Int("repeats", 3, "cycle repetitions")
-		slack   = flag.Float64("slack", 1.10, "loss slack multiplier for the recommended design")
+		cycle    = flag.String("cycle", "US06", "drive cycle")
+		repeats  = flag.Int("repeats", 3, "cycle repetitions")
+		slack    = flag.Float64("slack", 1.10, "loss slack multiplier for the recommended design")
+		parallel = flag.Int("parallel", 0, "max concurrent design evaluations (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("quiet", false, "suppress the progress line on stderr")
 	)
 	flag.Parse()
 
-	res, err := dse.Explore(dse.Config{Cycle: *cycle, Repeats: *repeats})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []runner.Option{runner.Workers(*parallel)}
+	if !*quiet {
+		opts = append(opts, runner.Progress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rdesigns %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+
+	res, err := dse.ExploreContext(ctx, dse.Config{Cycle: *cycle, Repeats: *repeats}, runner.New(opts...))
 	if err != nil {
+		if errors.Is(err, runner.ErrCanceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 	res.Write(os.Stdout)

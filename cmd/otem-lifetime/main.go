@@ -1,24 +1,30 @@
 // Command otem-lifetime projects the battery to its end of life (20 %
 // capacity loss) under each methodology, carrying the accumulated fade into
-// the plant — the paper's BLT claim taken to its conclusion.
+// the plant — the paper's BLT claim taken to its conclusion. The
+// per-methodology projections run concurrently on the batch runner
+// (-parallel bounds the fan-out) and Ctrl-C cancels the whole fleet
+// mid-route.
 //
 // Usage:
 //
-//	otem-lifetime -cycle US06 -repeats 3 -methods Parallel,Dual,OTEM
+//	otem-lifetime -cycle US06 -repeats 3 -methods Parallel,Dual,OTEM -parallel 3
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/drivecycle"
-	"repro/internal/experiments"
 	"repro/internal/lifetime"
 	"repro/internal/policy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vehicle"
 )
@@ -32,8 +38,12 @@ func main() {
 		repeats   = flag.Int("repeats", 3, "cycle repetitions per route")
 		methods   = flag.String("methods", "Parallel,Dual,OTEM", "comma-separated methodologies")
 		block     = flag.Int("block", 2000, "routes extrapolated per simulated block")
+		parallel  = flag.Int("parallel", 0, "max concurrent projections (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cycle, err := drivecycle.ByName(*cycleName)
 	if err != nil {
@@ -43,35 +53,44 @@ func main() {
 	requests := vehicle.MidSizeEV().PowerSeries(route)
 	routeKm := route.Stats().Distance / 1000
 
+	var names []policy.Methodology
 	for _, m := range strings.Split(*methods, ",") {
-		m = strings.TrimSpace(m)
-		factory, err := controllerFactory(m)
-		if err != nil {
-			log.Fatal(err)
+		names = append(names, policy.Methodology(strings.TrimSpace(m)))
+	}
+
+	// One projection per methodology; each block inside is sequential (the
+	// fade feeds back), but the methodologies are independent jobs.
+	pool := runner.New(runner.Workers(*parallel))
+	projections, err := runner.Map(ctx, pool, len(names),
+		func(ctx context.Context, i int) (*lifetime.Projection, error) {
+			factory, err := controllerFactory(names[i])
+			if err != nil {
+				return nil, err
+			}
+			return lifetime.ProjectContext(ctx,
+				lifetime.DefaultPlantFactory(sim.PlantConfig{}),
+				factory, requests,
+				lifetime.Config{BlockRoutes: *block, RouteKm: routeKm})
+		})
+	if err != nil {
+		if errors.Is(err, runner.ErrCanceled) {
+			log.Fatal("interrupted")
 		}
-		proj, err := lifetime.Project(
-			lifetime.DefaultPlantFactory(sim.PlantConfig{}),
-			factory, requests,
-			lifetime.Config{BlockRoutes: *block, RouteKm: routeKm},
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
-		proj.Write(os.Stdout, fmt.Sprintf("%s on %s ×%d", m, *cycleName, *repeats))
+		log.Fatal(err)
+	}
+
+	for i, proj := range projections {
+		proj.Write(os.Stdout, fmt.Sprintf("%s on %s ×%d", names[i], *cycleName, *repeats))
 		fmt.Println()
 	}
 }
 
-func controllerFactory(method string) (lifetime.ControllerFactory, error) {
-	switch method {
-	case experiments.MethodParallel:
-		return func() (sim.Controller, error) { return policy.Parallel{}, nil }, nil
-	case experiments.MethodCooling:
-		return func() (sim.Controller, error) { return policy.NewActiveCooling(), nil }, nil
-	case experiments.MethodDual:
-		return func() (sim.Controller, error) { return policy.NewDual(), nil }, nil
-	case experiments.MethodOTEM:
+func controllerFactory(method policy.Methodology) (lifetime.ControllerFactory, error) {
+	if method == policy.MethodologyOTEM {
 		return func() (sim.Controller, error) { return core.New(core.DefaultConfig()) }, nil
 	}
-	return nil, fmt.Errorf("unknown methodology %q", method)
+	if _, err := policy.ByMethodology(method); err != nil {
+		return nil, err
+	}
+	return func() (sim.Controller, error) { return policy.ByMethodology(method) }, nil
 }

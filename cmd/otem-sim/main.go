@@ -27,7 +27,7 @@ func main() {
 	log.SetPrefix("otem-sim: ")
 
 	var (
-		method  = flag.String("method", "OTEM", "methodology: "+strings.Join(experiments.Methods(), ", "))
+		method  = flag.String("method", "OTEM", "methodology: "+strings.Join(experiments.MethodNames(), ", "))
 		cycle   = flag.String("cycle", "US06", "drive cycle: US06, UDDS, HWFET, NYCC, LA92, SC03")
 		repeats = flag.Int("repeats", 5, "number of back-to-back cycle repetitions")
 		ucap    = flag.Float64("ucap", 25000, "ultracapacitor size in farads")
@@ -38,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	res, err := experiments.Run(experiments.RunSpec{
-		Method:    *method,
+		Method:    experiments.Methodology(*method),
 		Cycle:     *cycle,
 		Repeats:   *repeats,
 		UltracapF: *ucap,

@@ -1,0 +1,55 @@
+// Batch: fan a grid of methodology × cycle runs out on the bounded worker
+// pool through the public API. RunBatch returns one result per spec, in
+// spec order regardless of parallelism; Ctrl-C cancels the whole batch
+// mid-simulation.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/otem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var specs []otem.RunSpec
+	for _, cycle := range []string{"UDDS", "NYCC", "SC03"} {
+		for _, m := range []otem.Methodology{otem.MethodologyParallel, otem.MethodologyDual} {
+			specs = append(specs, otem.RunSpec{Method: m, Cycle: cycle, Repeats: 2})
+		}
+	}
+
+	batch, err := otem.RunBatch(ctx, specs,
+		otem.WithParallelism(4),
+		otem.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	if err != nil {
+		if errors.Is(err, otem.ErrCanceled) {
+			log.Fatal("interrupted")
+		}
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %-10s %12s %12s\n", "method", "cycle", "loss (%)", "avg P (W)")
+	for _, br := range batch {
+		if br.Err != nil {
+			fmt.Printf("%-10s %-10s failed: %v\n", br.Spec.Method, br.Spec.Cycle, br.Err)
+			continue
+		}
+		fmt.Printf("%-10s %-10s %12.6f %12.0f\n",
+			br.Spec.Method, br.Spec.Cycle, br.Result.QlossPct, br.Result.AvgPowerW)
+	}
+}

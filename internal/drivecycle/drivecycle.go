@@ -12,6 +12,7 @@
 package drivecycle
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -275,8 +276,13 @@ func SC03() *Cycle {
 	})
 }
 
+// ErrUnknown reports a cycle name ByName does not recognise. Match it with
+// errors.Is; it is re-exported by the public facade as otem.ErrUnknownCycle.
+var ErrUnknown = errors.New("drivecycle: unknown cycle")
+
 // ByName returns a standard cycle by its canonical name. Recognised names
-// are returned by Names.
+// are returned by Names. Unrecognised names return an error wrapping
+// ErrUnknown.
 func ByName(name string) (*Cycle, error) {
 	switch name {
 	case "US06":
@@ -298,7 +304,7 @@ func ByName(name string) (*Cycle, error) {
 	case "ARTEMIS-URBAN":
 		return ArtemisUrban(), nil
 	}
-	return nil, fmt.Errorf("drivecycle: unknown cycle %q (known: %v)", name, Names())
+	return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknown, name, Names())
 }
 
 // Names lists the six EPA cycles the paper-reproduction sweeps run over,

@@ -8,16 +8,16 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/cooling"
 	"repro/internal/core"
 	"repro/internal/drivecycle"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vehicle"
 )
@@ -106,8 +106,18 @@ type Result struct {
 	Config Config
 }
 
-// Explore evaluates the grid under the OTEM controller, concurrently.
+// Explore evaluates the grid under the OTEM controller with the default
+// pool. See ExploreContext.
 func Explore(cfg Config) (*Result, error) {
+	return ExploreContext(context.Background(), cfg, nil)
+}
+
+// ExploreContext evaluates the size×cooler grid on the batch runner: every
+// design point is an independent simulation job, results land in grid
+// order, and canceling ctx aborts the exploration mid-grid with an error
+// matching runner.ErrCanceled. A nil pool uses the defaults (GOMAXPROCS
+// workers).
+func ExploreContext(ctx context.Context, cfg Config, pool *runner.Pool) (*Result, error) {
 	cfg = cfg.withDefaults()
 	cycle, err := drivecycle.ByName(cfg.Cycle)
 	if err != nil {
@@ -115,44 +125,23 @@ func Explore(cfg Config) (*Result, error) {
 	}
 	requests := vehicle.MidSizeEV().PowerSeries(cycle.Repeat(cfg.Repeats))
 
-	n := len(cfg.UltracapSizesF) * len(cfg.CoolerPowersW)
-	out := &Result{Evaluations: make([]Evaluation, n), Config: cfg}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	idx := 0
-	for _, size := range cfg.UltracapSizesF {
-		for _, cool := range cfg.CoolerPowersW {
-			wg.Add(1)
-			go func(i int, size, cool float64) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				ev, err := evaluate(size, cool, requests, cfg.Cost)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-					return
-				}
-				out.Evaluations[i] = ev
-			}(idx, size, cool)
-			idx++
-		}
+	cols := len(cfg.CoolerPowersW)
+	n := len(cfg.UltracapSizesF) * cols
+	evals, err := runner.Map(ctx, pool, n,
+		func(ctx context.Context, k int) (Evaluation, error) {
+			size := cfg.UltracapSizesF[k/cols]
+			cool := cfg.CoolerPowersW[k%cols]
+			return evaluate(ctx, size, cool, requests, cfg.Cost)
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	out := &Result{Evaluations: evals, Config: cfg}
 	out.ParetoIdx = paretoFront(out.Evaluations)
 	return out, nil
 }
 
-func evaluate(size, coolerMax float64, requests []float64, cost CostModel) (Evaluation, error) {
+func evaluate(ctx context.Context, size, coolerMax float64, requests []float64, cost CostModel) (Evaluation, error) {
 	coolParams := cooling.DefaultParams()
 	coolParams.MaxCoolerPower = coolerMax
 	plant, err := sim.NewPlant(sim.PlantConfig{UltracapF: size, Cooling: &coolParams})
@@ -163,7 +152,7 @@ func evaluate(size, coolerMax float64, requests []float64, cost CostModel) (Eval
 	if err != nil {
 		return Evaluation{}, err
 	}
-	res, err := sim.Run(plant, ctrl, requests, sim.Config{Horizon: core.DefaultConfig().Horizon})
+	res, err := sim.RunContext(ctx, plant, ctrl, requests, sim.Config{Horizon: core.DefaultConfig().Horizon})
 	if err != nil {
 		return Evaluation{}, fmt.Errorf("dse %gF/%gW: %w", size, coolerMax, err)
 	}

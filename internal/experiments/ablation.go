@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drivecycle"
 	"repro/internal/forecast"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vehicle"
 )
@@ -60,7 +62,7 @@ func mustCycle(name string) *drivecycle.Cycle {
 	return c
 }
 
-func runOTEMConfig(label string, cfg core.Config, requests []float64, wrap func(sim.Controller) sim.Controller) (AblationRow, error) {
+func runOTEMConfig(ctx context.Context, label string, cfg core.Config, requests []float64, wrap func(sim.Controller) sim.Controller) (AblationRow, error) {
 	plant, err := sim.NewPlant(sim.PlantConfig{})
 	if err != nil {
 		return AblationRow{}, err
@@ -73,39 +75,56 @@ func runOTEMConfig(label string, cfg core.Config, requests []float64, wrap func(
 	if wrap != nil {
 		ctrl = wrap(ctrl)
 	}
-	res, err := sim.Run(plant, ctrl, requests, sim.Config{Horizon: cfg.Horizon})
+	res, err := sim.RunContext(ctx, plant, ctrl, requests, sim.Config{Horizon: cfg.Horizon})
 	if err != nil {
-		return AblationRow{}, err
+		return AblationRow{}, fmt.Errorf("ablation %s: %w", label, err)
 	}
 	return AblationRow{Label: label, Result: res}, nil
+}
+
+// runStudy evaluates the variants of one ablation study on the batch
+// runner; the rows keep the declared variant order regardless of
+// completion order.
+func runStudy(ctx context.Context, pool *runner.Pool, title string, n int, variant func(ctx context.Context, i int) (AblationRow, error)) (*AblationResult, error) {
+	rows, err := runner.Map(ctx, pool, n, variant)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Title: title, Rows: rows}, nil
 }
 
 // AblationHorizon sweeps the MPC control-window size (paper Alg. 1 line 4):
 // too short a window cannot prepare TEB; longer windows cost compute for
 // diminishing returns.
 func AblationHorizon() (*AblationResult, error) {
+	return AblationHorizonContext(context.Background(), nil)
+}
+
+// AblationHorizonContext is AblationHorizon on the batch runner.
+func AblationHorizonContext(ctx context.Context, pool *runner.Pool) (*AblationResult, error) {
 	requests := ablationWorkload()
-	out := &AblationResult{Title: "Ablation — MPC horizon (US06 ×3, 25 kF)"}
-	for _, h := range []int{8, 16, 40, 80} {
-		cfg := core.DefaultConfig()
-		cfg.Horizon = h
-		if cfg.BlockSize > h {
-			cfg.BlockSize = h
-		}
-		row, err := runOTEMConfig(fmt.Sprintf("horizon=%ds", h), cfg, requests, nil)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+	horizons := []int{8, 16, 40, 80}
+	return runStudy(ctx, pool, "Ablation — MPC horizon (US06 ×3, 25 kF)", len(horizons),
+		func(ctx context.Context, i int) (AblationRow, error) {
+			h := horizons[i]
+			cfg := core.DefaultConfig()
+			cfg.Horizon = h
+			if cfg.BlockSize > h {
+				cfg.BlockSize = h
+			}
+			return runOTEMConfig(ctx, fmt.Sprintf("horizon=%ds", h), cfg, requests, nil)
+		})
 }
 
 // AblationWeights disables each Eq. 19 cost term in turn, showing what each
 // contributes to the joint optimisation.
 func AblationWeights() (*AblationResult, error) {
+	return AblationWeightsContext(context.Background(), nil)
+}
+
+// AblationWeightsContext is AblationWeights on the batch runner.
+func AblationWeightsContext(ctx context.Context, pool *runner.Pool) (*AblationResult, error) {
 	requests := ablationWorkload()
-	out := &AblationResult{Title: "Ablation — Eq. 19 cost terms (US06 ×3, 25 kF)"}
 	variants := []struct {
 		label string
 		mut   func(*core.Config)
@@ -117,16 +136,12 @@ func AblationWeights() (*AblationResult, error) {
 		{"no TEB value", func(c *core.Config) { c.TEBWeight = 0 }},
 		{"no temp pressure", func(c *core.Config) { c.TempPressureWeight = 0 }},
 	}
-	for _, v := range variants {
-		cfg := core.DefaultConfig()
-		v.mut(&cfg)
-		row, err := runOTEMConfig(v.label, cfg, requests, nil)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+	return runStudy(ctx, pool, "Ablation — Eq. 19 cost terms (US06 ×3, 25 kF)", len(variants),
+		func(ctx context.Context, i int) (AblationRow, error) {
+			cfg := core.DefaultConfig()
+			variants[i].mut(&cfg)
+			return runOTEMConfig(ctx, variants[i].label, cfg, requests, nil)
+		})
 }
 
 // NoisyForecast wraps a controller and corrupts the future entries of the
@@ -168,24 +183,25 @@ func (n *NoisyForecast) Decide(p *sim.Plant, forecast []float64) sim.Action {
 
 // AblationNoise measures OTEM's sensitivity to forecast error.
 func AblationNoise() (*AblationResult, error) {
+	return AblationNoiseContext(context.Background(), nil)
+}
+
+// AblationNoiseContext is AblationNoise on the batch runner.
+func AblationNoiseContext(ctx context.Context, pool *runner.Pool) (*AblationResult, error) {
 	requests := ablationWorkload()
-	out := &AblationResult{Title: "Ablation — forecast noise (US06 ×3, 25 kF)"}
-	for _, sigma := range []float64{0, 0.1, 0.3, 0.6} {
-		cfg := core.DefaultConfig()
-		var wrap func(sim.Controller) sim.Controller
-		if sigma > 0 {
-			s := sigma
-			wrap = func(inner sim.Controller) sim.Controller {
-				return NewNoisyForecast(inner, s, 1)
+	sigmas := []float64{0, 0.1, 0.3, 0.6}
+	return runStudy(ctx, pool, "Ablation — forecast noise (US06 ×3, 25 kF)", len(sigmas),
+		func(ctx context.Context, i int) (AblationRow, error) {
+			sigma := sigmas[i]
+			cfg := core.DefaultConfig()
+			var wrap func(sim.Controller) sim.Controller
+			if sigma > 0 {
+				wrap = func(inner sim.Controller) sim.Controller {
+					return NewNoisyForecast(inner, sigma, 1)
+				}
 			}
-		}
-		row, err := runOTEMConfig(fmt.Sprintf("sigma=%.0f%%", sigma*100), cfg, requests, wrap)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+			return runOTEMConfig(ctx, fmt.Sprintf("sigma=%.0f%%", sigma*100), cfg, requests, wrap)
+		})
 }
 
 // AblationPredictor replaces the oracle forecast with realistic predictors
@@ -193,6 +209,11 @@ func AblationNoise() (*AblationResult, error) {
 // survives: the paper's evaluation assumes perfect P̂_e; a deployed system
 // would not have it.
 func AblationPredictor() (*AblationResult, error) {
+	return AblationPredictorContext(context.Background(), nil)
+}
+
+// AblationPredictorContext is AblationPredictor on the batch runner.
+func AblationPredictorContext(ctx context.Context, pool *runner.Pool) (*AblationResult, error) {
 	requests := ablationWorkload()
 	// Train the Markov predictor on different cycles than the evaluation
 	// route (no leakage).
@@ -204,7 +225,6 @@ func AblationPredictor() (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Title: "Ablation — forecast realism (US06 ×3, 25 kF)"}
 	predictors := []struct {
 		label string
 		make  func() forecast.Predictor
@@ -214,27 +234,28 @@ func AblationPredictor() (*AblationResult, error) {
 		{"decay(tau=8s)", func() forecast.Predictor { return forecast.NewDecay(8) }},
 		{"markov(16 bins)", func() forecast.Predictor { return markov }},
 	}
-	for _, p := range predictors {
-		cfg := core.DefaultConfig()
-		var wrap func(sim.Controller) sim.Controller
-		if p.make != nil {
-			pred := p.make()
-			wrap = func(inner sim.Controller) sim.Controller { return forecast.Wrap(inner, pred) }
-		}
-		row, err := runOTEMConfig(p.label, cfg, requests, wrap)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+	return runStudy(ctx, pool, "Ablation — forecast realism (US06 ×3, 25 kF)", len(predictors),
+		func(ctx context.Context, i int) (AblationRow, error) {
+			p := predictors[i]
+			cfg := core.DefaultConfig()
+			var wrap func(sim.Controller) sim.Controller
+			if p.make != nil {
+				pred := p.make() // fresh predictor per job: no shared state
+				wrap = func(inner sim.Controller) sim.Controller { return forecast.Wrap(inner, pred) }
+			}
+			return runOTEMConfig(ctx, p.label, cfg, requests, wrap)
+		})
 }
 
 // AblationSensing replaces the oracle SoC with the EKF estimate (see the
 // bms package): a deployed OTEM would plan against an estimated state.
 func AblationSensing() (*AblationResult, error) {
+	return AblationSensingContext(context.Background(), nil)
+}
+
+// AblationSensingContext is AblationSensing on the batch runner.
+func AblationSensingContext(ctx context.Context, pool *runner.Pool) (*AblationResult, error) {
 	requests := ablationWorkload()
-	out := &AblationResult{Title: "Ablation — state sensing (US06 ×3, 25 kF)"}
 	variants := []struct {
 		label      string
 		initialSoC float64
@@ -244,35 +265,37 @@ func AblationSensing() (*AblationResult, error) {
 		{"EKF, good prior", 0.95, 0.5},
 		{"EKF, bad prior", 0.50, 1.0},
 	}
-	for _, v := range variants {
-		cfg := core.DefaultConfig()
-		var wrap func(sim.Controller) sim.Controller
-		if v.initialSoC >= 0 {
-			est, err := bms.NewSoCEstimator(battery.NCR18650A(), 96, 24, v.initialSoC, 0.05)
-			if err != nil {
-				return nil, err
+	return runStudy(ctx, pool, "Ablation — state sensing (US06 ×3, 25 kF)", len(variants),
+		func(ctx context.Context, i int) (AblationRow, error) {
+			v := variants[i]
+			cfg := core.DefaultConfig()
+			var wrap func(sim.Controller) sim.Controller
+			if v.initialSoC >= 0 {
+				// Estimator built inside the job: it is stateful and must not
+				// be shared across concurrent variants.
+				est, err := bms.NewSoCEstimator(battery.NCR18650A(), 96, 24, v.initialSoC, 0.05)
+				if err != nil {
+					return AblationRow{}, err
+				}
+				est.MeasurementNoise = v.noiseV * v.noiseV
+				wrap = func(inner sim.Controller) sim.Controller {
+					return bms.NewSensedController(inner, est, v.noiseV, 1)
+				}
 			}
-			est.MeasurementNoise = v.noiseV * v.noiseV
-			noise := v.noiseV
-			wrap = func(inner sim.Controller) sim.Controller {
-				return bms.NewSensedController(inner, est, noise, 1)
-			}
-		}
-		row, err := runOTEMConfig(v.label, cfg, requests, wrap)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+			return runOTEMConfig(ctx, v.label, cfg, requests, wrap)
+		})
 }
 
 // AblationChemistry runs OTEM on the NCA-class default pack versus an
 // LFP-class pack of comparable bus voltage, showing the methodology is
 // chemistry-agnostic (the paper: "will not contradict our methodology").
 func AblationChemistry() (*AblationResult, error) {
+	return AblationChemistryContext(context.Background(), nil)
+}
+
+// AblationChemistryContext is AblationChemistry on the batch runner.
+func AblationChemistryContext(ctx context.Context, pool *runner.Pool) (*AblationResult, error) {
 	requests := ablationWorkload()
-	out := &AblationResult{Title: "Ablation — cell chemistry (US06 ×3, 25 kF)"}
 	variants := []struct {
 		label    string
 		cell     battery.CellParams
@@ -282,25 +305,26 @@ func AblationChemistry() (*AblationResult, error) {
 		{"NCA 96S24P (default)", battery.NCR18650A(), 96, 24},
 		{"LFP 112S30P", battery.LFP26650(), 112, 30},
 	}
-	for _, v := range variants {
-		cell := v.cell
-		plant, err := sim.NewPlant(sim.PlantConfig{
-			Cell:         &cell,
-			PackSeries:   v.series,
-			PackParallel: v.parallel,
+	return runStudy(ctx, pool, "Ablation — cell chemistry (US06 ×3, 25 kF)", len(variants),
+		func(ctx context.Context, i int) (AblationRow, error) {
+			v := variants[i]
+			cell := v.cell
+			plant, err := sim.NewPlant(sim.PlantConfig{
+				Cell:         &cell,
+				PackSeries:   v.series,
+				PackParallel: v.parallel,
+			})
+			if err != nil {
+				return AblationRow{}, err
+			}
+			ctrl, err := core.New(core.DefaultConfig())
+			if err != nil {
+				return AblationRow{}, err
+			}
+			res, err := sim.RunContext(ctx, plant, ctrl, requests, sim.Config{Horizon: core.DefaultConfig().Horizon})
+			if err != nil {
+				return AblationRow{}, fmt.Errorf("chemistry %s: %w", v.label, err)
+			}
+			return AblationRow{Label: v.label, Result: res}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		ctrl, err := core.New(core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(plant, ctrl, requests, sim.Config{Horizon: core.DefaultConfig().Horizon})
-		if err != nil {
-			return nil, fmt.Errorf("chemistry %s: %w", v.label, err)
-		}
-		out.Rows = append(out.Rows, AblationRow{Label: v.label, Result: res})
-	}
-	return out, nil
 }

@@ -1,0 +1,79 @@
+// Batch-engine benchmarks: the Fig. 8/9 sweep and the Table I grid at
+// parallelism 1 versus GOMAXPROCS. The work is identical (the runner
+// dispatches the same jobs in the same index order and results land in the
+// same slots), so on an N-core machine the Parallel variants approach N×
+// the Sequential throughput while reporting bit-identical headline metrics:
+//
+//	go test -bench 'Batch' -benchtime 1x ./internal/experiments
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	pool := runner.New(runner.Workers(workers))
+	for i := 0; i < b.N; i++ {
+		sweep, err := SweepContext(context.Background(), 1, pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(Fig8(sweep).OTEMAvgReductionPct(), "loss-reduction-pct")
+	}
+}
+
+// BenchmarkFig8BatchSequential runs the 6-cycle × 4-methodology sweep on a
+// single worker: the pre-runner baseline.
+func BenchmarkFig8BatchSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkFig8BatchParallel runs the same sweep at GOMAXPROCS workers.
+func BenchmarkFig8BatchParallel(b *testing.B) { benchSweep(b, 0) }
+
+func benchTableI(b *testing.B, workers int) {
+	b.Helper()
+	pool := runner.New(runner.Workers(workers))
+	for i := 0; i < b.N; i++ {
+		r, err := TableIContext(context.Background(), pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.LossPct(0, 2), "otem-loss-at-5kF-pct")
+	}
+}
+
+// BenchmarkTableIBatchSequential runs the size × methodology grid on a
+// single worker.
+func BenchmarkTableIBatchSequential(b *testing.B) { benchTableI(b, 1) }
+
+// BenchmarkTableIBatchParallel runs the same grid at GOMAXPROCS workers.
+func BenchmarkTableIBatchParallel(b *testing.B) { benchTableI(b, 0) }
+
+// TestSweepDeterministicAcrossParallelism pins the batch engine's ordering
+// guarantee on the real Fig. 8/9 grid: the sweep at 1 worker and at 8
+// workers must agree exactly, methodology by methodology.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweeps with MPC runs")
+	}
+	ctx := context.Background()
+	seq, err := SweepContext(ctx, 1, runner.New(runner.Workers(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepContext(ctx, 1, runner.New(runner.Workers(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cycle := range seq.Cycles {
+		for j, m := range seq.MethodsList {
+			a, b := seq.Results[i][j], par.Results[i][j]
+			if a.QlossPct != b.QlossPct || a.AvgPowerW != b.AvgPowerW || a.Steps != b.Steps {
+				t.Errorf("%s/%s differs between 1 and 8 workers: %+v vs %+v", cycle, m, a, b)
+			}
+		}
+	}
+}

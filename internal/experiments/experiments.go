@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,39 +21,47 @@ import (
 	"repro/internal/vehicle"
 )
 
+// Methodology is the typed methodology name shared with the policy package
+// and the public facade.
+type Methodology = policy.Methodology
+
 // Methodology names in canonical presentation order.
 const (
-	MethodParallel = "Parallel"
-	MethodCooling  = "ActiveCooling"
-	MethodDual     = "Dual"
-	MethodOTEM     = "OTEM"
+	MethodParallel = policy.MethodologyParallel
+	MethodCooling  = policy.MethodologyCooling
+	MethodDual     = policy.MethodologyDual
+	MethodOTEM     = policy.MethodologyOTEM
 )
 
 // Methods lists the four compared methodologies in presentation order.
-func Methods() []string {
-	return []string{MethodParallel, MethodCooling, MethodDual, MethodOTEM}
+func Methods() []Methodology {
+	return []Methodology{MethodParallel, MethodCooling, MethodDual, MethodOTEM}
+}
+
+// MethodNames lists the methodologies as plain strings, for flag help texts
+// and joins.
+func MethodNames() []string {
+	ms := Methods()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = string(m)
+	}
+	return out
 }
 
 // newController builds a fresh controller for a methodology. Controllers
 // are stateful, so each run needs its own.
-func newController(method string) (sim.Controller, error) {
-	switch method {
-	case MethodParallel:
-		return policy.Parallel{}, nil
-	case MethodCooling:
-		return policy.NewActiveCooling(), nil
-	case MethodDual:
-		return policy.NewDual(), nil
-	case MethodOTEM:
+func newController(method Methodology) (sim.Controller, error) {
+	if method == MethodOTEM {
 		return core.New(core.DefaultConfig())
 	}
-	return nil, fmt.Errorf("experiments: unknown methodology %q", method)
+	return policy.ByMethodology(method)
 }
 
 // RunSpec describes one simulation run of the experiment suite.
 type RunSpec struct {
 	// Method is one of the Methods names.
-	Method string
+	Method Methodology
 	// Cycle is a standard drive-cycle name (drivecycle.Names).
 	Cycle string
 	// Repeats plays the cycle back to back (default 1).
@@ -65,6 +74,13 @@ type RunSpec struct {
 
 // Run executes one specification on a fresh default plant and vehicle.
 func Run(spec RunSpec) (sim.Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cooperative cancellation, for batch engines and
+// interruptible CLIs: canceling ctx abandons the simulation mid-route with
+// an error matching runner.ErrCanceled.
+func RunContext(ctx context.Context, spec RunSpec) (sim.Result, error) {
 	if spec.Repeats < 1 {
 		spec.Repeats = 1
 	}
@@ -85,7 +101,7 @@ func Run(spec RunSpec) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(plant, ctrl, requests, sim.Config{
+	return sim.RunContext(ctx, plant, ctrl, requests, sim.Config{
 		RecordTrace: spec.Trace,
 		Horizon:     core.DefaultConfig().Horizon,
 	})

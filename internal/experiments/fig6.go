@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/chart"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -16,26 +18,39 @@ import (
 // ultracapacitor.
 type Fig6Result struct {
 	// MethodsList holds the methodology names.
-	MethodsList []string
+	MethodsList []Methodology
 	// Results holds the per-method runs with traces, aligned to MethodsList.
 	Results []sim.Result
 }
 
-// Fig6 runs all four methodologies on the Fig. 6 workload.
+// Fig6 runs all four methodologies on the Fig. 6 workload with the default
+// pool. See Fig6Context.
 func Fig6() (*Fig6Result, error) {
+	return Fig6Context(context.Background(), nil)
+}
+
+// Fig6Context runs the per-methodology traced simulations on the batch
+// runner; a nil pool uses the defaults.
+func Fig6Context(ctx context.Context, pool *runner.Pool) (*Fig6Result, error) {
 	out := &Fig6Result{MethodsList: Methods()}
-	for _, m := range out.MethodsList {
-		res, err := Run(RunSpec{Method: m, Cycle: "US06", Repeats: 5, Trace: true})
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s: %w", m, err)
-		}
-		out.Results = append(out.Results, res)
+	results, err := runner.Map(ctx, pool, len(out.MethodsList),
+		func(ctx context.Context, i int) (sim.Result, error) {
+			m := out.MethodsList[i]
+			res, err := RunContext(ctx, RunSpec{Method: m, Cycle: "US06", Repeats: 5, Trace: true})
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("fig6 %s: %w", m, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	out.Results = results
 	return out, nil
 }
 
 // ResultFor returns the run for a methodology name, or false.
-func (r *Fig6Result) ResultFor(method string) (sim.Result, bool) {
+func (r *Fig6Result) ResultFor(method Methodology) (sim.Result, bool) {
 	for i, m := range r.MethodsList {
 		if m == method {
 			return r.Results[i], true
@@ -60,7 +75,7 @@ func (r *Fig6Result) Write(w io.Writer) {
 	c.WithHLine(40)
 	for i, m := range r.MethodsList {
 		c.XMax = r.Results[i].Trace.Time[len(r.Results[i].Trace.Time)-1]
-		c.Add(m, toCelsius(r.Results[i].Trace.BatteryTemp))
+		c.Add(string(m), toCelsius(r.Results[i].Trace.BatteryTemp))
 	}
 	c.Render(w)
 }

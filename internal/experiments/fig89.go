@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"repro/internal/drivecycle"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -17,19 +17,25 @@ type SweepResult struct {
 	// Cycles are the drive-cycle names (rows).
 	Cycles []string
 	// MethodsList are the methodology names (columns).
-	MethodsList []string
+	MethodsList []Methodology
 	// Results[i][j] is the run of Cycles[i] under MethodsList[j].
 	Results [][]sim.Result
 	// Repeats is how many times each cycle was repeated.
 	Repeats int
 }
 
-// Sweep runs every methodology over every standard drive cycle. This is the
-// expensive experiment of the suite (24 simulations, four of them MPC), so
-// the runs execute concurrently — every run owns a fresh plant and
-// controller, and results land in fixed matrix slots, so the outcome is
-// bit-identical to the serial order.
+// Sweep runs every methodology over every standard drive cycle with the
+// default pool. See SweepContext.
 func Sweep(repeats int) (*SweepResult, error) {
+	return SweepContext(context.Background(), repeats, nil)
+}
+
+// SweepContext runs the full cycle×methodology grid on the batch runner.
+// This is the expensive experiment of the suite (24 simulations, four of
+// them MPC); every run owns a fresh plant and controller and results land
+// in fixed matrix slots, so the outcome is bit-identical at any
+// parallelism. A nil pool uses the defaults (GOMAXPROCS workers).
+func SweepContext(ctx context.Context, repeats int, pool *runner.Pool) (*SweepResult, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -38,44 +44,27 @@ func Sweep(repeats int) (*SweepResult, error) {
 		MethodsList: Methods(),
 		Repeats:     repeats,
 	}
+	m := len(out.MethodsList)
+	flat, err := runner.Map(ctx, pool, len(out.Cycles)*m,
+		func(ctx context.Context, k int) (sim.Result, error) {
+			cyc, meth := out.Cycles[k/m], out.MethodsList[k%m]
+			res, err := RunContext(ctx, RunSpec{Method: meth, Cycle: cyc, Repeats: repeats})
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("sweep %s/%s: %w", cyc, meth, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out.Results = make([][]sim.Result, len(out.Cycles))
 	for i := range out.Results {
-		out.Results[i] = make([]sim.Result, len(out.MethodsList))
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	// Cap concurrency near the core count; each MPC run is CPU-bound.
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, cyc := range out.Cycles {
-		for j, m := range out.MethodsList {
-			wg.Add(1)
-			go func(i, j int, cyc, m string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				res, err := Run(RunSpec{Method: m, Cycle: cyc, Repeats: repeats})
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("sweep %s/%s: %w", cyc, m, err)
-					return
-				}
-				out.Results[i][j] = res
-			}(i, j, cyc, m)
-		}
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		out.Results[i] = flat[i*m : (i+1)*m : (i+1)*m]
 	}
 	return out, nil
 }
 
-func (s *SweepResult) methodIndex(method string) int {
+func (s *SweepResult) methodIndex(method Methodology) int {
 	for j, m := range s.MethodsList {
 		if m == method {
 			return j

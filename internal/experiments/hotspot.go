@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/cooling"
+	"repro/internal/runner"
 	"repro/internal/thermal"
 	"repro/internal/units"
 )
@@ -12,7 +14,7 @@ import (
 // HotspotRow reports the distributed-model replay of one methodology.
 type HotspotRow struct {
 	// Method is the methodology name.
-	Method string
+	Method Methodology
 	// LumpedMaxT is the peak battery temperature the lumped (two-node)
 	// plant reported, kelvin.
 	LumpedMaxT float64
@@ -38,28 +40,40 @@ type HotspotResult struct {
 	Rows []HotspotRow
 }
 
-// Hotspot runs the study for the parallel baseline and OTEM on US06 ×3.
+// Hotspot runs the study for the parallel baseline and OTEM on US06 ×3
+// with the default pool. See HotspotContext.
 func Hotspot() (*HotspotResult, error) {
+	return HotspotContext(context.Background(), nil)
+}
+
+// HotspotContext runs the per-methodology simulate-then-replay chains on
+// the batch runner; a nil pool uses the defaults.
+func HotspotContext(ctx context.Context, pool *runner.Pool) (*HotspotResult, error) {
 	const modules = 8
-	out := &HotspotResult{Modules: modules}
-	for _, m := range []string{MethodParallel, MethodOTEM} {
-		res, err := Run(RunSpec{Method: m, Cycle: "US06", Repeats: 3, Trace: true})
-		if err != nil {
-			return nil, fmt.Errorf("hotspot %s: %w", m, err)
-		}
-		row, err := replayDistributed(m, res.Trace.BatteryHeat, res.Trace.CoolerPower, modules)
-		if err != nil {
-			return nil, err
-		}
-		row.LumpedMaxT = res.MaxBatteryTemp
-		out.Rows = append(out.Rows, row)
+	methods := []Methodology{MethodParallel, MethodOTEM}
+	rows, err := runner.Map(ctx, pool, len(methods),
+		func(ctx context.Context, i int) (HotspotRow, error) {
+			m := methods[i]
+			res, err := RunContext(ctx, RunSpec{Method: m, Cycle: "US06", Repeats: 3, Trace: true})
+			if err != nil {
+				return HotspotRow{}, fmt.Errorf("hotspot %s: %w", m, err)
+			}
+			row, err := replayDistributed(m, res.Trace.BatteryHeat, res.Trace.CoolerPower, modules)
+			if err != nil {
+				return HotspotRow{}, err
+			}
+			row.LumpedMaxT = res.MaxBatteryTemp
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &HotspotResult{Modules: modules, Rows: rows}, nil
 }
 
 // replayDistributed drives the N-module network with a recorded heat and
 // cooling-power profile.
-func replayDistributed(method string, heat, coolPower []float64, modules int) (HotspotRow, error) {
+func replayDistributed(method Methodology, heat, coolPower []float64, modules int) (HotspotRow, error) {
 	params := cooling.DefaultParams()
 	net, err := thermal.NewPackNetwork(params, modules, 298)
 	if err != nil {

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -15,7 +17,7 @@ type TableIResult struct {
 	// SizesF are the swept bank sizes in farads (rows).
 	SizesF []float64
 	// MethodsList are the compared methodologies (columns).
-	MethodsList []string
+	MethodsList []Methodology
 	// Results[i][j] is the run at SizesF[i] under MethodsList[j].
 	Results [][]sim.Result
 	// BaselineLoss is the parallel@25 kF capacity loss used for the 100 %
@@ -23,22 +25,34 @@ type TableIResult struct {
 	BaselineLoss float64
 }
 
-// TableI runs the sizing sweep (12 simulations, 4 of them MPC).
+// TableI runs the sizing sweep with the default pool. See TableIContext.
 func TableI() (*TableIResult, error) {
+	return TableIContext(context.Background(), nil)
+}
+
+// TableIContext runs the size×methodology grid (12 simulations, 4 of them
+// MPC) on the batch runner; a nil pool uses the defaults.
+func TableIContext(ctx context.Context, pool *runner.Pool) (*TableIResult, error) {
 	out := &TableIResult{
 		SizesF:      []float64{5000, 10000, 20000, 25000},
-		MethodsList: []string{MethodParallel, MethodDual, MethodOTEM},
+		MethodsList: []Methodology{MethodParallel, MethodDual, MethodOTEM},
 	}
-	for _, size := range out.SizesF {
-		row := make([]sim.Result, 0, len(out.MethodsList))
-		for _, m := range out.MethodsList {
-			res, err := Run(RunSpec{Method: m, Cycle: "US06", Repeats: 5, UltracapF: size})
+	m := len(out.MethodsList)
+	flat, err := runner.Map(ctx, pool, len(out.SizesF)*m,
+		func(ctx context.Context, k int) (sim.Result, error) {
+			size, meth := out.SizesF[k/m], out.MethodsList[k%m]
+			res, err := RunContext(ctx, RunSpec{Method: meth, Cycle: "US06", Repeats: 5, UltracapF: size})
 			if err != nil {
-				return nil, fmt.Errorf("table1 %.0fF/%s: %w", size, m, err)
+				return sim.Result{}, fmt.Errorf("table1 %.0fF/%s: %w", size, meth, err)
 			}
-			row = append(row, res)
-		}
-		out.Results = append(out.Results, row)
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out.Results = make([][]sim.Result, len(out.SizesF))
+	for i := range out.Results {
+		out.Results[i] = flat[i*m : (i+1)*m : (i+1)*m]
 	}
 	// Normalisation: parallel at 25 kF.
 	out.BaselineLoss = out.Results[len(out.SizesF)-1][0].QlossPct

@@ -9,6 +9,7 @@
 package lifetime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -113,6 +114,17 @@ func DefaultPlantFactory(cfg sim.PlantConfig) PlantFactory {
 
 // Project runs the fade trajectory to end of life.
 func Project(newPlant PlantFactory, newController ControllerFactory, requests []float64, cfg Config) (*Projection, error) {
+	return ProjectContext(context.Background(), newPlant, newController, requests, cfg)
+}
+
+// ProjectContext is Project with cooperative cancellation. The projection
+// is inherently sequential — each simulated block depends on the health
+// state accumulated by its predecessors — so the batching lever here is
+// cancellation: the route simulation inside each block aborts mid-route
+// when ctx fires (with an error matching runner.ErrCanceled), which lets
+// callers fan a projection per methodology out on the batch runner and
+// still stop the whole fleet promptly.
+func ProjectContext(ctx context.Context, newPlant PlantFactory, newController ControllerFactory, requests []float64, cfg Config) (*Projection, error) {
 	if newPlant == nil || newController == nil {
 		return nil, errors.New("lifetime: nil factory")
 	}
@@ -136,7 +148,7 @@ func Project(newPlant PlantFactory, newController ControllerFactory, requests []
 			return nil, err
 		}
 		startSoC := plant.HEES.Battery.SoC
-		res, err := sim.Run(plant, ctrl, requests, sim.Config{Horizon: 40})
+		res, err := sim.RunContext(ctx, plant, ctrl, requests, sim.Config{Horizon: 40})
 		if err != nil {
 			return nil, fmt.Errorf("lifetime: route at %.2f%% loss: %w", loss, err)
 		}

@@ -14,12 +14,76 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/hees"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
+
+// Methodology names one of the paper's compared management strategies. It
+// is a typed string so the experiment grids, the public facade and the CLIs
+// share one vocabulary instead of loose literals; the values are the
+// canonical presentation names used in every figure and table.
+type Methodology string
+
+// The four methodologies of the paper's evaluation (§IV-B), plus the
+// battery-only strawman used by tests and ablations.
+const (
+	// MethodologyParallel is the passive parallel HEES [Shin DATE'11].
+	MethodologyParallel Methodology = "Parallel"
+	// MethodologyCooling is battery-only storage with thermostatic active
+	// cooling [Karimi & Li].
+	MethodologyCooling Methodology = "ActiveCooling"
+	// MethodologyDual is the switched dual HEES [Shin DATE'14].
+	MethodologyDual Methodology = "Dual"
+	// MethodologyOTEM is the paper's MPC controller (constructed by
+	// internal/core; ByMethodology rejects it because this package only
+	// builds baselines).
+	MethodologyOTEM Methodology = "OTEM"
+	// MethodologyBattery is the unmanaged battery-direct strawman.
+	MethodologyBattery Methodology = "BatteryOnly"
+)
+
+// String implements fmt.Stringer.
+func (m Methodology) String() string { return string(m) }
+
+// Valid reports whether m is one of the defined methodologies.
+func (m Methodology) Valid() bool {
+	switch m {
+	case MethodologyParallel, MethodologyCooling, MethodologyDual,
+		MethodologyOTEM, MethodologyBattery:
+		return true
+	}
+	return false
+}
+
+// ErrUnknown reports a baseline or methodology name this package does not
+// recognise. Match it with errors.Is; the public facade re-exports it as
+// otem.ErrUnknownBaseline.
+var ErrUnknown = errors.New("policy: unknown baseline")
+
+// ByMethodology constructs the baseline controller for a methodology.
+// MethodologyOTEM (an MPC, not a baseline) and unknown values return an
+// error wrapping ErrUnknown.
+func ByMethodology(m Methodology) (sim.Controller, error) {
+	switch m {
+	case MethodologyParallel:
+		return Parallel{}, nil
+	case MethodologyCooling:
+		return NewActiveCooling(), nil
+	case MethodologyDual:
+		return NewDual(), nil
+	case MethodologyBattery:
+		return BatteryOnly{}, nil
+	case MethodologyOTEM:
+		return nil, fmt.Errorf("%w %q (the OTEM MPC is built by internal/core, not policy)", ErrUnknown, string(m))
+	}
+	return nil, fmt.Errorf("%w %q (known: %s, %s, %s, %s, %s)", ErrUnknown, string(m),
+		MethodologyParallel, MethodologyCooling, MethodologyDual, MethodologyBattery, MethodologyOTEM)
+}
 
 // Parallel is the management-free passive parallel baseline.
 type Parallel struct{}
@@ -180,18 +244,20 @@ var (
 	_ sim.Controller = BatteryOnly{}
 )
 
-// ByName constructs a baseline controller by its canonical name, as used by
-// the CLI tools. Recognised: "parallel", "cooling", "dual", "battery".
+// ByName constructs a baseline controller by name. It accepts both the
+// legacy lowercase CLI names ("parallel", "cooling", "dual", "battery") and
+// the canonical Methodology values, case-insensitively. Unknown names
+// return an error wrapping ErrUnknown.
 func ByName(name string) (sim.Controller, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "parallel":
-		return Parallel{}, nil
-	case "cooling":
-		return NewActiveCooling(), nil
+		return ByMethodology(MethodologyParallel)
+	case "cooling", "activecooling":
+		return ByMethodology(MethodologyCooling)
 	case "dual":
-		return NewDual(), nil
-	case "battery":
-		return BatteryOnly{}, nil
+		return ByMethodology(MethodologyDual)
+	case "battery", "batteryonly":
+		return ByMethodology(MethodologyBattery)
 	}
-	return nil, fmt.Errorf("policy: unknown baseline %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknown, name)
 }

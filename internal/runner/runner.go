@@ -1,0 +1,227 @@
+// Package runner is the bounded worker-pool batch engine every grid
+// experiment in the repository executes on: the Fig. 8/9 cycle×methodology
+// sweep, the Table I sizing grid, the ablation studies, the hotspot replay
+// and the design-space exploration all submit their independent simulation
+// jobs here instead of hand-rolling goroutines.
+//
+// The engine guarantees:
+//
+//   - bounded parallelism (default GOMAXPROCS), so a 100-point grid never
+//     spawns 100 concurrent MPC solves;
+//   - cooperative cancellation: the batch context is handed to every job,
+//     and canceling it stops dispatching and returns an error matching
+//     ErrCanceled via errors.Is;
+//   - first-error propagation: one failing job cancels the rest of the
+//     batch and its error is returned, annotated with the job index;
+//   - panic isolation: a panicking job is converted into a *PanicError
+//     instead of crashing the process;
+//   - deterministic results: Map returns values in job-index order, so the
+//     outcome is bit-identical at parallelism 1 and N.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrCanceled reports that a batch (or a single simulation run) was stopped
+// by context cancellation before completing. Match it with errors.Is; the
+// underlying context error (context.Canceled or context.DeadlineExceeded)
+// is wrapped alongside it.
+var ErrCanceled = errors.New("runner: canceled")
+
+// Canceled wraps a context error so that callers can match both ErrCanceled
+// and the original cause with errors.Is.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// PanicError is a job panic converted into an error.
+type PanicError struct {
+	// Job is the index of the panicking job.
+	Job int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Job, e.Value)
+}
+
+// Pool executes batches of indexed jobs with bounded parallelism. The zero
+// value and a nil *Pool are both valid and use the defaults (GOMAXPROCS
+// workers, no progress callback). A Pool is stateless between batches and
+// safe for concurrent use.
+type Pool struct {
+	workers  int
+	progress func(done, total int)
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// Workers sets the maximum number of jobs in flight. n < 1 selects
+// runtime.GOMAXPROCS(0); the pool never starts more workers than jobs.
+func Workers(n int) Option { return func(p *Pool) { p.workers = n } }
+
+// Progress registers a callback invoked after each completed job with the
+// running completion count and the batch size. Invocations are serialised
+// and done is strictly increasing, so the callback can render a progress
+// line without its own locking.
+func Progress(fn func(done, total int)) Option {
+	return func(p *Pool) { p.progress = fn }
+}
+
+// New builds a pool from the options.
+func New(opts ...Option) *Pool {
+	p := &Pool{}
+	for _, o := range opts {
+		if o != nil {
+			o(p)
+		}
+	}
+	return p
+}
+
+// config reads the settings, tolerating a nil receiver.
+func (p *Pool) config() (workers int, progress func(done, total int)) {
+	if p == nil {
+		return 0, nil
+	}
+	return p.workers, p.progress
+}
+
+// WorkerCount returns the parallelism the pool would use for a batch of n
+// jobs: configured workers clamped to [1, n], defaulting to GOMAXPROCS.
+func (p *Pool) WorkerCount(n int) int {
+	workers, _ := p.config()
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n >= 1 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes jobs 0..n-1 with bounded parallelism and blocks until every
+// started job has returned (no goroutines outlive the call). The context
+// passed to each job is canceled as soon as the batch stops — because ctx
+// fired or a sibling failed — so long-running jobs can abort mid-simulation.
+//
+// Returns nil when all jobs succeed; an error matching ErrCanceled when ctx
+// was canceled first; otherwise the first job error, annotated with its
+// index. A panicking job fails the batch with a *PanicError.
+func (p *Pool) Run(ctx context.Context, n int, job func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if job == nil {
+		return errors.New("runner: nil job")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	_, progress := p.config()
+
+	var (
+		next     atomic.Int64 // next job index to dispatch
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("runner: job %d: %w", i, err)
+		}
+		mu.Unlock()
+		cancel() // stop dispatching; abort in-flight jobs cooperatively
+	}
+	complete := func() {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		progress(done, n)
+		mu.Unlock()
+	}
+	runOne := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Job: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return job(ctx, i)
+	}
+
+	for w := 0; w < p.WorkerCount(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := runOne(i); err != nil {
+					fail(i, err)
+					return
+				}
+				complete()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Cancellation of the caller's context takes precedence: the batch is
+	// incomplete by request, not by failure.
+	if err := parent.Err(); err != nil {
+		return Canceled(err)
+	}
+	return firstErr
+}
+
+// Map runs fn over the indices 0..n-1 on the pool and returns the results
+// in job-index order, so the output is identical at any parallelism. On
+// error or cancellation the partial results are discarded and only the
+// error is returned (see Pool.Run for its shape). A nil pool uses the
+// default settings.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative batch size %d", n)
+	}
+	out := make([]T, n)
+	err := p.Run(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v // each slot is owned by exactly one job: no race
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

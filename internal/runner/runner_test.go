@@ -1,0 +1,223 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderDeterministicAcrossParallelism(t *testing.T) {
+	const n = 64
+	fn := func(_ context.Context, i int) (float64, error) {
+		return float64(i*i) + 0.5, nil
+	}
+	serial, err := Map(context.Background(), New(Workers(1)), n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Map(context.Background(), New(Workers(16)), n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("slot %d: %v (serial) vs %v (parallel)", i, serial[i], wide[i])
+		}
+		if want := float64(i*i) + 0.5; serial[i] != want {
+			t.Fatalf("slot %d = %v, want %v (index order broken)", i, serial[i], want)
+		}
+	}
+}
+
+func TestWorkerCountClamping(t *testing.T) {
+	cases := []struct {
+		workers, jobs, want int
+	}{
+		{0, 10, runtime.GOMAXPROCS(0)}, // default
+		{-3, 10, runtime.GOMAXPROCS(0)},
+		{4, 10, 4},
+		{100, 5, 5}, // never more workers than jobs
+		{1, 100, 1}, // serial
+		{8, 100, 8}, // bounded
+	}
+	for _, c := range cases {
+		p := New(Workers(c.workers))
+		want := c.want
+		if want > c.jobs {
+			want = c.jobs
+		}
+		if got := p.WorkerCount(c.jobs); got != want {
+			t.Errorf("WorkerCount(workers=%d, jobs=%d) = %d, want %d", c.workers, c.jobs, got, want)
+		}
+	}
+	var nilPool *Pool
+	if got := nilPool.WorkerCount(2); got != 2 && got != runtime.GOMAXPROCS(0) {
+		t.Errorf("nil pool WorkerCount = %d", got)
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const limit = 2
+	var inFlight, peak atomic.Int64
+	err := New(Workers(limit)).Run(context.Background(), 32, func(context.Context, int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestCancelMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var ran atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- New(Workers(2)).Run(ctx, 100, func(ctx context.Context, i int) error {
+			ran.Add(1)
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-ctx.Done() // block until the batch is canceled
+			return ctx.Err()
+		})
+	}()
+	<-started
+	cancel()
+	err := <-errCh
+	if err == nil {
+		t.Fatal("canceled batch returned nil")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Errorf("%d jobs ran after cancellation; dispatch did not stop", n)
+	}
+}
+
+func TestFirstErrorStopsDispatch(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	var mu sync.Mutex
+	err := New(Workers(1)).Run(context.Background(), 10, func(_ context.Context, i int) error {
+		mu.Lock()
+		ran = append(ran, i)
+		mu.Unlock()
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if want := []int{0, 1, 2, 3}; len(ran) != len(want) {
+		t.Errorf("ran %v, want %v (jobs after the failure must not start)", ran, want)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Error("job failure must not report as cancellation")
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	err := New(Workers(4)).Run(context.Background(), 8, func(_ context.Context, i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking batch returned nil")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Job != 5 || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {Job:%d Value:%v stack:%dB}", pe.Job, pe.Value, len(pe.Stack))
+	}
+}
+
+func TestProgressMonotonic(t *testing.T) {
+	var calls []int
+	p := New(Workers(8), Progress(func(done, total int) {
+		if total != 20 {
+			t.Errorf("total = %d, want 20", total)
+		}
+		calls = append(calls, done) // serialised by the pool
+	}))
+	if err := p.Run(context.Background(), 20, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 20 {
+		t.Fatalf("progress called %d times, want 20", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not strictly increasing", calls)
+		}
+	}
+}
+
+func TestNilPoolAndEmptyBatch(t *testing.T) {
+	var p *Pool
+	if err := p.Run(context.Background(), 0, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	out, err := Map(context.Background(), nil, 3, func(_ context.Context, i int) (int, error) {
+		return i + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != "[1 2 3]" {
+		t.Errorf("Map on nil pool = %v", out)
+	}
+	if err := p.Run(context.Background(), 3, nil); err == nil {
+		t.Error("nil job accepted")
+	}
+}
+
+func TestMapDiscardsPartialResultsOnError(t *testing.T) {
+	out, err := Map(context.Background(), New(Workers(2)), 8, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map = (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+func TestCanceledHelper(t *testing.T) {
+	if !errors.Is(Canceled(nil), ErrCanceled) {
+		t.Error("Canceled(nil) does not match ErrCanceled")
+	}
+	err := Canceled(context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Canceled wrap broken: %v", err)
+	}
+}

@@ -10,12 +10,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/cooling"
 	"repro/internal/hees"
+	"repro/internal/runner"
 	"repro/internal/ultracap"
 )
 
@@ -218,6 +220,14 @@ type Config struct {
 // Run simulates the power-request series through the plant under the given
 // controller — the paper's Algorithm 1. The plant is mutated in place.
 func Run(plant *Plant, ctrl Controller, requests []float64, cfg Config) (Result, error) {
+	return RunContext(context.Background(), plant, ctrl, requests, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks ctx
+// between steps and, when it fires, abandons the route with an error
+// matching runner.ErrCanceled (and the context's own error) via errors.Is.
+// The plant is left in its mid-route state.
+func RunContext(ctx context.Context, plant *Plant, ctrl Controller, requests []float64, cfg Config) (Result, error) {
 	if err := plant.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -238,9 +248,15 @@ func Run(plant *Plant, ctrl Controller, requests []float64, cfg Config) (Result,
 	}
 	forecast := make([]float64, horizon)
 	safe := plant.HEES.Battery.Cell.SafeTemp
+	done := ctx.Done() // nil for context.Background(): the select never fires
 
 	var tempSum float64
 	for t, pe := range requests {
+		select {
+		case <-done:
+			return res, fmt.Errorf("sim: run canceled at step %d: %w", t, runner.Canceled(ctx.Err()))
+		default:
+		}
 		// Mirror the thermal state into the battery model before deciding.
 		plant.HEES.Battery.Temp = plant.Loop.BatteryTemp
 

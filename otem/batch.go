@@ -1,0 +1,77 @@
+package otem
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// BatchResult pairs one RunSpec of a batch with its outcome. Exactly one
+// of Result and Err is meaningful: Err is non-nil when that spec failed
+// (the rest of the batch still ran).
+type BatchResult struct {
+	// Spec echoes the specification this result belongs to.
+	Spec RunSpec
+	// Result is the route summary when the run succeeded.
+	Result Result
+	// Err is the per-spec failure, nil on success.
+	Err error
+}
+
+// batchSettings is the resolved option set of one batch call.
+type batchSettings struct {
+	parallelism int
+	progress    func(done, total int)
+}
+
+func newBatchSettings(opts []BatchOption) batchSettings {
+	var s batchSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// pool builds the worker pool the settings describe.
+func (s batchSettings) pool() *runner.Pool {
+	return runner.New(runner.Workers(s.parallelism), runner.Progress(s.progress))
+}
+
+// BatchOption tunes RunBatch and ExploreDesignsContext.
+type BatchOption func(*batchSettings)
+
+// WithParallelism bounds the number of specs simulated concurrently.
+// Zero or negative selects the default, GOMAXPROCS.
+func WithParallelism(n int) BatchOption {
+	return func(s *batchSettings) { s.parallelism = n }
+}
+
+// WithProgress registers a callback invoked after each spec completes,
+// with the number done so far and the batch total. Calls are serialized
+// and done is strictly increasing, so the callback needs no locking.
+func WithProgress(fn func(done, total int)) BatchOption {
+	return func(s *batchSettings) { s.progress = fn }
+}
+
+// RunBatch executes the specs concurrently on a bounded worker pool and
+// returns one BatchResult per spec, in spec order — the ordering (and the
+// numbers) are independent of the parallelism. A failing spec records its
+// error in its BatchResult.Err and the rest of the batch continues; the
+// batch-level error is non-nil only when ctx was canceled, in which case
+// it matches ErrCanceled (and ctx.Err()) via errors.Is and the returned
+// slice is nil.
+func RunBatch(ctx context.Context, specs []RunSpec, opts ...BatchOption) ([]BatchResult, error) {
+	pool := newBatchSettings(opts).pool()
+	return runner.Map(ctx, pool, len(specs),
+		func(ctx context.Context, i int) (BatchResult, error) {
+			br := BatchResult{Spec: specs[i]}
+			br.Result, br.Err = experiments.RunContext(ctx, specs[i])
+			if br.Err != nil && errors.Is(br.Err, ErrCanceled) {
+				// Cancellation is a batch-level outcome, not a per-spec one.
+				return br, br.Err
+			}
+			return br, nil
+		})
+}

@@ -1,0 +1,73 @@
+// Package otem is the public API of the OTEM reproduction: optimized
+// thermal and energy management for hybrid electrical energy storage in
+// electric vehicles (Vatanparvar & Al Faruque, DATE 2016).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - construct a plant (battery pack + ultracapacitor + converters +
+//     active cooling loop) with NewPlant,
+//   - construct the OTEM model-predictive controller with New, or a
+//     state-of-the-art baseline with Baseline or ControllerFor,
+//   - obtain EV power-request series from standard drive cycles with
+//     PowerSeries,
+//   - simulate a route with Simulate / SimulateContext, run a canned paper
+//     experiment with Run / RunContext, or fan a whole grid of experiments
+//     out on the bounded worker pool with RunBatch.
+//
+// A minimal session:
+//
+//	requests, _ := otem.PowerSeries("US06", 5)
+//	plant, _ := otem.NewPlant(otem.PlantConfig{})
+//	ctrl, _ := otem.New(otem.DefaultConfig())
+//	res, _ := otem.Simulate(plant, ctrl, requests, otem.WithTrace())
+//	fmt.Println(res.QlossPct, res.AvgPowerW)
+//
+// # Batch runs
+//
+// RunBatch executes many RunSpecs concurrently on a bounded worker pool
+// and returns one BatchResult per spec, in spec order, regardless of
+// parallelism — results are bit-identical at -parallel 1 and -parallel N:
+//
+//	specs := []otem.RunSpec{
+//		{Method: otem.MethodologyParallel, Cycle: "US06", Repeats: 3},
+//		{Method: otem.MethodologyOTEM, Cycle: "US06", Repeats: 3},
+//	}
+//	batch, err := otem.RunBatch(ctx, specs,
+//		otem.WithParallelism(4),
+//		otem.WithProgress(func(done, total int) {
+//			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+//		}))
+//
+// A spec that fails (unknown cycle, diverged simulation, …) records its
+// error in its BatchResult.Err without aborting the rest of the batch.
+// Only cancellation aborts the whole batch: when ctx is canceled RunBatch
+// stops dispatching, in-flight simulations abandon mid-route, and the
+// returned error matches ErrCanceled via errors.Is.
+//
+// # Context and cancellation
+//
+// Every long-running entry point has a Context variant — SimulateContext,
+// RunContext, RunBatch, ExploreDesignsContext, ProjectLifetimeContext —
+// that checks ctx between simulation steps and returns an error wrapping
+// both ErrCanceled and ctx.Err(). The plain variants are equivalent to
+// passing context.Background().
+//
+// # Errors
+//
+// Failures from name lookups and cancellation wrap the package's sentinel
+// errors, so callers can branch with errors.Is:
+//
+//	if _, err := otem.CycleByName(name); errors.Is(err, otem.ErrUnknownCycle) { … }
+//	if _, err := otem.Baseline(name); errors.Is(err, otem.ErrUnknownBaseline) { … }
+//	if err := doBatch(ctx); errors.Is(err, otem.ErrCanceled) { … }
+//
+// # Migration from SimOptions
+//
+// Simulate historically took a variadic SimOptions struct. It now takes
+// functional options; the struct still satisfies the SimOption interface,
+// so existing call sites keep compiling, but new code should write
+//
+//	otem.Simulate(plant, ctrl, requests, otem.WithTrace(), otem.WithHorizon(16))
+//
+// instead of otem.Simulate(plant, ctrl, requests, otem.SimOptions{…}).
+package otem

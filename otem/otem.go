@@ -1,34 +1,15 @@
-// Package otem is the public API of the OTEM reproduction: optimized
-// thermal and energy management for hybrid electrical energy storage in
-// electric vehicles (Vatanparvar & Al Faruque, DATE 2016).
-//
-// The package re-exports the stable surface of the internal packages:
-//
-//   - construct a plant (battery pack + ultracapacitor + converters +
-//     active cooling loop) with NewPlant,
-//   - construct the OTEM model-predictive controller with New, or a
-//     state-of-the-art baseline with Baseline,
-//   - obtain EV power-request series from standard drive cycles with
-//     PowerSeries,
-//   - simulate a route with Simulate, or run a canned paper experiment
-//     with Run.
-//
-// A minimal session:
-//
-//	requests, _ := otem.PowerSeries("US06", 5)
-//	plant, _ := otem.NewPlant(otem.PlantConfig{})
-//	ctrl, _ := otem.New(otem.DefaultConfig())
-//	res, _ := otem.Simulate(plant, ctrl, requests)
-//	fmt.Println(res.QlossPct, res.AvgPowerW)
 package otem
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/drivecycle"
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/lifetime"
 	"repro/internal/policy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vehicle"
 )
@@ -58,6 +39,40 @@ type (
 	VehicleParams = vehicle.Params
 )
 
+// Methodology is the typed name of a compared energy-management strategy.
+// Untyped string literals convert implicitly, so Methodology("OTEM") and
+// MethodologyOTEM are interchangeable.
+type Methodology = policy.Methodology
+
+// The four methodologies of the paper's evaluation (§IV).
+const (
+	// MethodologyParallel is the passive battery‖ultracapacitor baseline.
+	MethodologyParallel = policy.MethodologyParallel
+	// MethodologyCooling is the battery with threshold-triggered cooling.
+	MethodologyCooling = policy.MethodologyCooling
+	// MethodologyDual combines the parallel HEES with threshold cooling.
+	MethodologyDual = policy.MethodologyDual
+	// MethodologyOTEM is the paper's model-predictive controller.
+	MethodologyOTEM = policy.MethodologyOTEM
+)
+
+// Methodologies lists the compared methodologies in presentation order.
+func Methodologies() []Methodology { return experiments.Methods() }
+
+// Sentinel errors, matchable with errors.Is through any wrapping the
+// package applies.
+var (
+	// ErrUnknownCycle reports a drive-cycle name CycleByName (and everything
+	// built on it) does not know.
+	ErrUnknownCycle = drivecycle.ErrUnknown
+	// ErrUnknownBaseline reports a methodology or baseline name Baseline and
+	// ControllerFor do not know.
+	ErrUnknownBaseline = policy.ErrUnknown
+	// ErrCanceled reports that a context-aware run was canceled before
+	// completing; errors.Is also matches the causing ctx.Err().
+	ErrCanceled = runner.ErrCanceled
+)
+
 // DefaultConfig returns the controller configuration used for the paper
 // experiments.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -70,8 +85,21 @@ func New(cfg Config) (*OTEM, error) { return core.New(cfg) }
 func NewPlant(cfg PlantConfig) (*Plant, error) { return sim.NewPlant(cfg) }
 
 // Baseline constructs one of the paper's comparison methodologies by name:
-// "parallel", "cooling", "dual" or "battery".
+// "parallel", "cooling", "dual" or "battery" (canonical Methodology names
+// are accepted too, case-insensitively). Unknown names wrap
+// ErrUnknownBaseline.
 func Baseline(name string) (Controller, error) { return policy.ByName(name) }
+
+// ControllerFor builds a fresh controller for a methodology, including the
+// OTEM controller itself (with DefaultConfig) — the typed counterpart of
+// Baseline for RunSpec-style code. Controllers are stateful: build one per
+// run. Unknown methodologies wrap ErrUnknownBaseline.
+func ControllerFor(m Methodology) (Controller, error) {
+	if m == MethodologyOTEM {
+		return core.New(core.DefaultConfig())
+	}
+	return policy.ByMethodology(m)
+}
 
 // MidSizeEV returns the road-load parameters of the experiments' vehicle.
 func MidSizeEV() VehicleParams { return vehicle.MidSizeEV() }
@@ -90,7 +118,55 @@ func PowerSeries(cycleName string, repeats int) ([]float64, error) {
 	return vehicle.MidSizeEV().PowerSeries(c), nil
 }
 
+// simSettings is the resolved option set of one Simulate call.
+type simSettings struct {
+	trace   bool
+	horizon int
+	ctx     context.Context
+}
+
+// SimOption tunes Simulate and SimulateContext. Options are WithTrace,
+// WithHorizon and WithContext; the deprecated SimOptions struct also
+// satisfies the interface.
+type SimOption interface {
+	applySim(*simSettings)
+}
+
+type simOptionFunc func(*simSettings)
+
+func (f simOptionFunc) applySim(s *simSettings) { f(s) }
+
+// WithTrace captures per-step signals into Result.Trace.
+func WithTrace() SimOption {
+	return simOptionFunc(func(s *simSettings) { s.trace = true })
+}
+
+// WithHorizon overrides the forecast window handed to the controller
+// (default: the OTEM default horizon). Non-positive values are ignored.
+func WithHorizon(n int) SimOption {
+	return simOptionFunc(func(s *simSettings) {
+		if n > 0 {
+			s.horizon = n
+		}
+	})
+}
+
+// WithContext makes the simulation cooperatively cancelable: when ctx is
+// canceled the run abandons mid-route with an error matching ErrCanceled.
+// SimulateContext is the same thing with the context as a leading argument.
+func WithContext(ctx context.Context) SimOption {
+	return simOptionFunc(func(s *simSettings) {
+		if ctx != nil {
+			s.ctx = ctx
+		}
+	})
+}
+
 // SimOptions tunes Simulate.
+//
+// Deprecated: pass functional options instead — WithTrace() for
+// RecordTrace, WithHorizon(n) for Horizon. The struct satisfies SimOption
+// so existing call sites keep working.
 type SimOptions struct {
 	// RecordTrace captures per-step signals into Result.Trace.
 	RecordTrace bool
@@ -99,23 +175,43 @@ type SimOptions struct {
 	Horizon int
 }
 
+func (o SimOptions) applySim(s *simSettings) {
+	s.trace = o.RecordTrace
+	if o.Horizon > 0 {
+		s.horizon = o.Horizon
+	}
+}
+
 // Simulate runs the power-request series through the plant under the given
 // controller (the paper's Algorithm 1) and returns the route summary. The
 // plant is mutated in place.
-func Simulate(plant *Plant, ctrl Controller, requests []float64, opts ...SimOptions) (Result, error) {
-	cfg := sim.Config{Horizon: core.DefaultConfig().Horizon}
-	if len(opts) > 0 {
-		cfg.RecordTrace = opts[0].RecordTrace
-		if opts[0].Horizon > 0 {
-			cfg.Horizon = opts[0].Horizon
-		}
+func Simulate(plant *Plant, ctrl Controller, requests []float64, opts ...SimOption) (Result, error) {
+	s := simSettings{horizon: core.DefaultConfig().Horizon, ctx: context.Background()}
+	for _, o := range opts {
+		o.applySim(&s)
 	}
-	return sim.Run(plant, ctrl, requests, cfg)
+	return sim.RunContext(s.ctx, plant, ctrl, requests, sim.Config{
+		RecordTrace: s.trace,
+		Horizon:     s.horizon,
+	})
+}
+
+// SimulateContext is Simulate with cooperative cancellation: when ctx is
+// canceled the simulation abandons mid-route and the returned error
+// matches both ErrCanceled and ctx.Err() via errors.Is.
+func SimulateContext(ctx context.Context, plant *Plant, ctrl Controller, requests []float64, opts ...SimOption) (Result, error) {
+	return Simulate(plant, ctrl, requests, append([]SimOption{WithContext(ctx)}, opts...)...)
 }
 
 // Run executes one canned experiment specification (fresh default plant and
 // vehicle), as used by the paper-reproduction suite.
 func Run(spec RunSpec) (Result, error) { return experiments.Run(spec) }
+
+// RunContext is Run with cooperative cancellation; see SimulateContext for
+// the error semantics. RunBatch fans many specs out concurrently.
+func RunContext(ctx context.Context, spec RunSpec) (Result, error) {
+	return experiments.RunContext(ctx, spec)
+}
 
 // CycleNames lists the available standard drive cycles.
 func CycleNames() []string { return drivecycle.Names() }
@@ -127,7 +223,8 @@ type Cycle = drivecycle.Cycle
 // SynthConfig parameterises the random micro-trip cycle synthesiser.
 type SynthConfig = drivecycle.SynthConfig
 
-// CycleByName returns a standard drive cycle ("US06", "UDDS", …).
+// CycleByName returns a standard drive cycle ("US06", "UDDS", …). Unknown
+// names wrap ErrUnknownCycle.
 func CycleByName(name string) (*Cycle, error) { return drivecycle.ByName(name) }
 
 // Synthesize generates a deterministic random drive cycle from the
@@ -165,7 +262,15 @@ type LifetimeProjection = lifetime.Projection
 // driving the given request series repeatedly under a controller built by
 // newController, carrying capacity fade and impedance growth forward.
 func ProjectLifetime(plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig) (*LifetimeProjection, error) {
-	return lifetime.Project(
+	return ProjectLifetimeContext(context.Background(), plantCfg, newController, requests, cfg)
+}
+
+// ProjectLifetimeContext is ProjectLifetime with cooperative cancellation:
+// the projection is sequential (each block feeds the accumulated fade
+// forward), but canceling ctx aborts the in-flight route simulation with
+// an error matching ErrCanceled.
+func ProjectLifetimeContext(ctx context.Context, plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig) (*LifetimeProjection, error) {
+	return lifetime.ProjectContext(ctx,
 		lifetime.DefaultPlantFactory(plantCfg),
 		func() (sim.Controller, error) { return newController() },
 		requests, cfg)
@@ -182,3 +287,11 @@ type (
 // OTEM controller and extracts the cost-vs-capacity-loss Pareto frontier —
 // the design-space exploration the paper defers to future work.
 func ExploreDesigns(cfg DSEConfig) (*DSEResult, error) { return dse.Explore(cfg) }
+
+// ExploreDesignsContext is ExploreDesigns on the bounded worker pool: the
+// grid points run concurrently (WithParallelism and WithProgress apply),
+// and canceling ctx aborts the exploration with an error matching
+// ErrCanceled.
+func ExploreDesignsContext(ctx context.Context, cfg DSEConfig, opts ...BatchOption) (*DSEResult, error) {
+	return dse.ExploreContext(ctx, cfg, newBatchSettings(opts).pool())
+}
