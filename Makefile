@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race race-grids bench vet fmt
+.PHONY: build test check race race-grids bench vet lint lint-vet fmt
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,30 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The domain-aware analyzers (internal/lint via cmd/otem-lint): exact
+# float comparisons, goroutines outside internal/runner, unwrapped
+# fmt.Errorf error args, panics outside Must* constructors, and
+# nondeterminism (global rand / time.Now) in the simulation core.
+# Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/otem-lint ./...
+
+# The same analyzers driven by the go command's unitchecker protocol,
+# proving cmd/otem-lint works as a drop-in `go vet -vettool`.
+lint-vet:
+	$(GO) build -o bin/otem-lint ./cmd/otem-lint
+	$(GO) vet -vettool=bin/otem-lint ./...
+
 fmt:
 	gofmt -l .
 
 test: build
 	$(GO) test ./...
 
-# Tier-1: everything compiles, vet is clean, the full suite passes.
-check: vet test
+# Tier-1: everything compiles, vet and otem-lint are clean, the full
+# suite passes under the race detector.
+check: vet lint build
+	$(GO) test -race ./...
 
 # The full suite under the race detector (slow: MPC-heavy tests included).
 race:

@@ -32,7 +32,7 @@ func main() {
 
 	var cycles []*drivecycle.Cycle
 	if *name == "" {
-		cycles = drivecycle.All()
+		cycles = drivecycle.MustAll()
 	} else {
 		c, err := drivecycle.ByName(*name)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/sim"
 )
 
@@ -108,7 +109,7 @@ func Summarize(tr *sim.Trace, dt float64) Summary {
 // RegenCaptureFrac returns the share of offered regenerative energy the
 // ultracapacitor absorbed (the battery or friction brakes took the rest).
 func (s Summary) RegenCaptureFrac() float64 {
-	if s.RegenOfferedJ == 0 {
+	if floats.Zero(s.RegenOfferedJ) {
 		return 0
 	}
 	return s.RegenToCapJ / s.RegenOfferedJ

@@ -175,7 +175,7 @@ func TestNewPackValidation(t *testing.T) {
 }
 
 func TestTeslaPackAggregates(t *testing.T) {
-	b := TeslaModelSPack(1.0, units.CToK(25))
+	b := MustTeslaModelSPack(1.0, units.CToK(25))
 	if got := b.CellCount(); got != 96*74 {
 		t.Errorf("CellCount = %d", got)
 	}
@@ -196,7 +196,7 @@ func TestTeslaPackAggregates(t *testing.T) {
 }
 
 func TestCurrentForPowerRoundTrip(t *testing.T) {
-	b := TeslaModelSPack(0.8, units.CToK(25))
+	b := MustTeslaModelSPack(0.8, units.CToK(25))
 	for _, p := range []float64{-50e3, -10e3, 0, 5e3, 40e3, 120e3} {
 		i, err := b.CurrentForPower(p)
 		if err != nil {
@@ -216,7 +216,7 @@ func TestCurrentForPowerRoundTrip(t *testing.T) {
 }
 
 func TestCurrentForPowerInfeasible(t *testing.T) {
-	b := TeslaModelSPack(0.8, units.CToK(25))
+	b := MustTeslaModelSPack(0.8, units.CToK(25))
 	_, err := b.CurrentForPower(b.MaxDischargePower() * 1.01)
 	if !errors.Is(err, ErrPowerInfeasible) {
 		t.Errorf("err = %v, want ErrPowerInfeasible", err)
@@ -224,7 +224,7 @@ func TestCurrentForPowerInfeasible(t *testing.T) {
 }
 
 func TestStepDischargeDrainsSoC(t *testing.T) {
-	b := TeslaModelSPack(0.9, units.CToK(25))
+	b := MustTeslaModelSPack(0.9, units.CToK(25))
 	soc0 := b.SoC
 	res, err := b.Step(50e3, 1.0)
 	if err != nil {
@@ -251,7 +251,7 @@ func TestStepDischargeDrainsSoC(t *testing.T) {
 }
 
 func TestStepChargeRaisesSoC(t *testing.T) {
-	b := TeslaModelSPack(0.5, units.CToK(25))
+	b := MustTeslaModelSPack(0.5, units.CToK(25))
 	soc0 := b.SoC
 	res, err := b.Step(-30e3, 1.0)
 	if err != nil {
@@ -272,7 +272,7 @@ func TestStepChargeRaisesSoC(t *testing.T) {
 }
 
 func TestStepRejectsBadDt(t *testing.T) {
-	b := TeslaModelSPack(0.5, units.CToK(25))
+	b := MustTeslaModelSPack(0.5, units.CToK(25))
 	if _, err := b.Step(1000, 0); err == nil {
 		t.Error("dt=0 accepted")
 	}
@@ -283,7 +283,7 @@ func TestStepRejectsBadDt(t *testing.T) {
 
 func TestStepCoulombCounting(t *testing.T) {
 	// Discharging at exactly 1C for one hour should drain 100 % SoC.
-	b := TeslaModelSPack(1.0, units.CToK(25))
+	b := MustTeslaModelSPack(1.0, units.CToK(25))
 	iC := b.CapacityAh() // amperes for 1C
 	dt := 1.0
 	for s := 0; s < 3600; s++ {
@@ -298,7 +298,7 @@ func TestStepCoulombCounting(t *testing.T) {
 
 func TestStepEnergyConservation(t *testing.T) {
 	// Chemical energy = delivered energy + Joule loss for one step.
-	b := TeslaModelSPack(0.8, units.CToK(25))
+	b := MustTeslaModelSPack(0.8, units.CToK(25))
 	power := 60e3
 	dt := 1.0
 	res, err := b.Step(power, dt)
@@ -313,7 +313,7 @@ func TestStepEnergyConservation(t *testing.T) {
 }
 
 func TestSoCClampAtEmpty(t *testing.T) {
-	b := TeslaModelSPack(0.001, units.CToK(25))
+	b := MustTeslaModelSPack(0.001, units.CToK(25))
 	for s := 0; s < 100; s++ {
 		if _, err := b.StepCurrent(b.MaxCurrent(), 10); err != nil {
 			t.Fatal(err)
@@ -325,7 +325,7 @@ func TestSoCClampAtEmpty(t *testing.T) {
 }
 
 func TestCloneIsIndependent(t *testing.T) {
-	b := TeslaModelSPack(0.7, units.CToK(25))
+	b := MustTeslaModelSPack(0.7, units.CToK(25))
 	c := b.Clone()
 	if _, err := c.Step(50e3, 5); err != nil {
 		t.Fatal(err)
@@ -336,7 +336,7 @@ func TestCloneIsIndependent(t *testing.T) {
 }
 
 func TestEffectiveCapacityReflectsAging(t *testing.T) {
-	b := TeslaModelSPack(0.7, units.CToK(25))
+	b := MustTeslaModelSPack(0.7, units.CToK(25))
 	b.CapacityLossPct = 20
 	want := b.CapacityAh() * 0.8
 	if got := b.EffectiveCapacityAh(); math.Abs(got-want) > 1e-9 {
@@ -347,7 +347,7 @@ func TestEffectiveCapacityReflectsAging(t *testing.T) {
 func TestHeatConsistencyStepVsCellModel(t *testing.T) {
 	// Pack heat rate must equal cellcount × per-cell heat at the same
 	// operating point.
-	b := TeslaModelSPack(0.6, units.CToK(30))
+	b := MustTeslaModelSPack(0.6, units.CToK(30))
 	res, err := b.StepCurrent(148, 1) // 2 A per string
 	if err != nil {
 		t.Fatal(err)

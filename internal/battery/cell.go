@@ -3,6 +3,7 @@ package battery
 import (
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/units"
 )
 
@@ -20,7 +21,7 @@ func (p CellParams) OCV(z float64) float64 {
 func (p CellParams) Resistance(z, T float64) float64 {
 	z = units.Clamp(z, 0, 1)
 	r25 := p.R[0]*math.Exp(p.R[1]*z) + p.R[2]
-	if p.Kr == 0 || T <= 0 {
+	if floats.Zero(p.Kr) || T <= 0 {
 		return r25
 	}
 	return r25 * math.Exp(p.Kr*(1/T-1/p.RefTemp))
@@ -42,7 +43,7 @@ func (p CellParams) HeatRate(i, z, T float64) float64 {
 // disproportionately.
 func (p CellParams) AgingRate(i, T float64) float64 {
 	ai := math.Abs(i)
-	if ai == 0 || T <= 0 {
+	if floats.Zero(ai) || T <= 0 {
 		return 0
 	}
 	return p.L[0] * math.Exp(-p.L[1]/(units.GasConstant*T)) * math.Pow(ai, p.L[2])

@@ -3,6 +3,7 @@ package battery
 import (
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/units"
 )
 
@@ -22,7 +23,7 @@ func (p CellParams) OCVPrime(z float64) float64 {
 func (p CellParams) ResistancePrime(z, T float64) float64 {
 	z = units.Clamp(z, 0, 1)
 	d := p.R[0] * p.R[1] * math.Exp(p.R[1]*z)
-	if p.Kr == 0 || T <= 0 {
+	if floats.Zero(p.Kr) || T <= 0 {
 		return d
 	}
 	return d * math.Exp(p.Kr*(1/T-1/p.RefTemp))

@@ -49,13 +49,13 @@ func NewPack(cell CellParams, series, parallel int, soc, temp float64) (*Pack, e
 	return &Pack{Cell: cell, Series: series, Parallel: parallel, SoC: soc, Temp: temp}, nil
 }
 
-// TeslaModelSPack returns an NCR18650A pack in the Tesla-Model-S-like 96S74P
+// MustTeslaModelSPack returns an NCR18650A pack in the Tesla-Model-S-like 96S74P
 // topology the paper references (§II-A), at the given initial SoC and
 // temperature.
-func TeslaModelSPack(soc, temp float64) *Pack {
+func MustTeslaModelSPack(soc, temp float64) *Pack {
 	p, err := NewPack(NCR18650A(), 96, 74, soc, temp)
 	if err != nil {
-		panic("battery: TeslaModelSPack defaults invalid: " + err.Error())
+		panic("battery: MustTeslaModelSPack defaults invalid: " + err.Error())
 	}
 	return p
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/units"
 )
 
@@ -127,7 +128,7 @@ func RelaxationError(cell CellParams, series, parallel int, rc RCPair, profile [
 		if err != nil {
 			return 0, err
 		}
-		if rs.ChemicalEnergy != 0 {
+		if !floats.Zero(rs.ChemicalEnergy) {
 			d := (rt.ChemicalEnergy - rs.ChemicalEnergy) / math.Abs(rs.ChemicalEnergy)
 			sumSq += d * d
 			n++

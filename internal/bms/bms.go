@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/battery"
+	"repro/internal/core/floats"
 	"repro/internal/units"
 )
 
@@ -150,7 +151,7 @@ func (m *Monitor) Observe(soc, temp, current, dt float64) {
 
 // Healthy reports whether no limit was ever violated.
 func (m *Monitor) Healthy() bool {
-	return m.TempViolationSec == 0 && m.SoCViolationSec == 0 && m.CurrentViolationSec == 0
+	return floats.Zero(m.TempViolationSec) && floats.Zero(m.SoCViolationSec) && floats.Zero(m.CurrentViolationSec)
 }
 
 // String summarises the monitor.

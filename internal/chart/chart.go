@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"repro/internal/core/floats"
 )
 
 // Series is one labelled line.
@@ -76,7 +78,7 @@ func (c *Chart) Render(w io.Writer) {
 		lo = math.Min(lo, *c.HLine)
 		hi = math.Max(hi, *c.HLine)
 	}
-	if hi == lo {
+	if floats.Eq(hi, lo) {
 		hi = lo + 1
 	}
 	// A little headroom so lines do not hug the frame.

@@ -354,6 +354,7 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 
 		// --- Current solve i = (voc − s)/(2res), s² = voc² − 4res·bs ---
 		var abs_, avocI, aresI float64
+		//lint:ignore floatcompare the adjoint must take the same branch the forward pass took; sBatt is exactly 0 iff the forward clamp fired
 		if tp.battDiscZero || tp.sBatt == 0 {
 			// i = voc/(2res) (s clamped to 0).
 			avocI = ai / (2 * tp.res)
@@ -375,6 +376,7 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 			absPre = 2 * 1e6 * d / 1e3 // penalty on bsPre
 			apmax = abs_ - 2*1e6*d/1e3 // downstream flows to pmax, minus penalty
 		}
+		//lint:ignore floatcompare skip-if-zero fast path: apmax is exactly 0 iff no upstream adjoint flowed into pmax
 		if apmax != 0 {
 			avoc += apmax * 0.98 * 2 * tp.voc / (4 * tp.res)
 			ares += -apmax * 0.98 * tp.voc * tp.voc / (4 * tp.res * tp.res)
@@ -418,6 +420,7 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 		var acs, avcap float64
 		if r.capESR > 0 {
 			var dIdCS, dIdV float64
+			//lint:ignore floatcompare the adjoint must take the same branch the forward pass took; sCap is exactly 0 iff the forward clamp fired
 			if tp.capDiscZero || tp.sCap == 0 {
 				dIdCS = 0
 				dIdV = 1 / (2 * r.capESR)

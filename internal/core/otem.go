@@ -155,6 +155,7 @@ type OTEM struct {
 
 // New returns an OTEM controller for the given configuration.
 func New(cfg Config) (*OTEM, error) {
+	//lint:ignore floatcompare the zero-value Config is the documented use-defaults sentinel; exact compare intended
 	if cfg == (Config{}) {
 		cfg = DefaultConfig()
 	}

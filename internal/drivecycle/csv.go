@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/core/floats"
 )
 
 // WriteCSV serialises the cycle as two columns, "time_s,speed_ms", with a
@@ -71,7 +73,7 @@ func ReadCSV(r io.Reader, name string) (*Cycle, error) {
 		prevT = t
 		c.Speed = append(c.Speed, v)
 	}
-	if c.DT == 0 {
+	if floats.Zero(c.DT) {
 		c.DT = 1
 	}
 	return c, nil

@@ -99,6 +99,7 @@ func (c *Cycle) Stats() Stats {
 // paper's "driving in US06 five times" workloads.
 func (c *Cycle) Repeat(n int) *Cycle {
 	if n < 1 {
+		//lint:ignore nopanic tested argument contract (TestRepeatPanicsOnZero): a non-positive repeat count is a programmer error
 		panic("drivecycle: Repeat count must be >= 1")
 	}
 	out := &Cycle{
@@ -153,8 +154,9 @@ type microTrip struct {
 	repeat  int     // how many times the trip repeats (0 → 1)
 }
 
-// synthesize renders a list of micro-trips into a 1 Hz speed trace.
-func synthesize(name string, leadIdle float64, trips []microTrip) *Cycle {
+// mustSynthesize renders a list of micro-trips into a 1 Hz speed trace. It
+// panics on malformed trips, which are compile-time constant tables here.
+func mustSynthesize(name string, leadIdle float64, trips []microTrip) *Cycle {
 	c := &Cycle{Name: name, DT: 1}
 	appendHold := func(v, seconds float64) {
 		for i := 0; i < int(math.Round(seconds)); i++ {
@@ -192,7 +194,7 @@ func synthesize(name string, leadIdle float64, trips []microTrip) *Cycle {
 // US06 returns the aggressive high-speed/high-acceleration supplemental FTP
 // cycle (≈600 s, ≈12.9 km, avg ≈77.9 km/h, max ≈129 km/h).
 func US06() *Cycle {
-	return synthesize("US06", 5, []microTrip{
+	return mustSynthesize("US06", 5, []microTrip{
 		{peakKmh: 110, accel: 2.8, decel: 1.5, cruise: 60, idle: 5},
 		{peakKmh: 129, accel: 2.2, decel: 1.8, cruise: 130, idle: 8},
 		{peakKmh: 50, accel: 2.5, decel: 2.0, cruise: 15, idle: 8, repeat: 3},
@@ -204,7 +206,7 @@ func US06() *Cycle {
 // UDDS returns the urban dynamometer driving schedule (≈1369 s, ≈12 km,
 // avg ≈31.5 km/h, max ≈91 km/h).
 func UDDS() *Cycle {
-	return synthesize("UDDS", 20, []microTrip{
+	return mustSynthesize("UDDS", 20, []microTrip{
 		{peakKmh: 91, accel: 1.3, decel: 1.2, cruise: 80, idle: 15},
 		{peakKmh: 70, accel: 1.2, decel: 1.2, cruise: 50, idle: 20, repeat: 2},
 		{peakKmh: 40, accel: 1.1, decel: 1.2, cruise: 40, idle: 22, repeat: 10},
@@ -248,7 +250,7 @@ func HWFET() *Cycle {
 // NYCC returns the New York City cycle (≈598 s, ≈1.9 km, avg ≈11.4 km/h,
 // max ≈44.6 km/h — dense stop-and-go).
 func NYCC() *Cycle {
-	return synthesize("NYCC", 25, []microTrip{
+	return mustSynthesize("NYCC", 25, []microTrip{
 		{peakKmh: 44, accel: 1.2, decel: 1.5, cruise: 15, idle: 25, repeat: 2},
 		{peakKmh: 25, accel: 1.0, decel: 1.3, cruise: 14, idle: 28, repeat: 6},
 		{peakKmh: 15, accel: 0.8, decel: 1.0, cruise: 10, idle: 12, repeat: 5},
@@ -258,7 +260,7 @@ func NYCC() *Cycle {
 // LA92 returns the LA92 "unified" cycle (≈1435 s, ≈15.8 km, avg ≈39.6 km/h,
 // max ≈108 km/h — more aggressive than UDDS).
 func LA92() *Cycle {
-	return synthesize("LA92", 15, []microTrip{
+	return mustSynthesize("LA92", 15, []microTrip{
 		{peakKmh: 108, accel: 1.8, decel: 1.5, cruise: 120, idle: 10},
 		{peakKmh: 80, accel: 1.6, decel: 1.5, cruise: 80, idle: 12, repeat: 2},
 		{peakKmh: 50, accel: 1.5, decel: 1.6, cruise: 35, idle: 18, repeat: 8},
@@ -269,7 +271,7 @@ func LA92() *Cycle {
 // SC03 returns the SC03 air-conditioning supplemental cycle (≈596 s,
 // ≈5.8 km, avg ≈34.8 km/h, max ≈88 km/h).
 func SC03() *Cycle {
-	return synthesize("SC03", 15, []microTrip{
+	return mustSynthesize("SC03", 15, []microTrip{
 		{peakKmh: 88, accel: 1.7, decel: 1.5, cruise: 60, idle: 12},
 		{peakKmh: 50, accel: 1.5, decel: 1.5, cruise: 30, idle: 15, repeat: 3},
 		{peakKmh: 40, accel: 1.3, decel: 1.4, cruise: 25, idle: 16, repeat: 5},
@@ -323,8 +325,10 @@ func AllNames() []string {
 	return n
 }
 
-// All returns every standard cycle, in Names order.
-func All() []*Cycle {
+// MustAll returns every standard cycle, in Names order. It panics only if
+// the registry is inconsistent with Names, which cannot happen outside a
+// broken edit to this package.
+func MustAll() []*Cycle {
 	names := Names()
 	out := make([]*Cycle, len(names))
 	for i, n := range names {

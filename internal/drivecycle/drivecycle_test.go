@@ -70,7 +70,7 @@ func TestNYCCIsStopAndGo(t *testing.T) {
 }
 
 func TestCyclesStartAndEndStopped(t *testing.T) {
-	for _, c := range All() {
+	for _, c := range MustAll() {
 		if c.Speed[0] != 0 {
 			t.Errorf("%s starts at %v m/s, want 0", c.Name, c.Speed[0])
 		}
@@ -81,7 +81,7 @@ func TestCyclesStartAndEndStopped(t *testing.T) {
 }
 
 func TestCyclesNonNegativeAndBounded(t *testing.T) {
-	for _, c := range All() {
+	for _, c := range MustAll() {
 		for i, v := range c.Speed {
 			if v < 0 {
 				t.Fatalf("%s sample %d negative: %v", c.Name, i, v)
@@ -94,7 +94,7 @@ func TestCyclesNonNegativeAndBounded(t *testing.T) {
 }
 
 func TestCycleAccelerationsPhysical(t *testing.T) {
-	for _, c := range All() {
+	for _, c := range MustAll() {
 		s := c.Stats()
 		if s.MaxAccel > 4.0 {
 			t.Errorf("%s max accel %v m/s² beyond passenger-car limits", c.Name, s.MaxAccel)

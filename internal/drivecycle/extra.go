@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/units"
 )
 
@@ -14,7 +15,7 @@ import (
 // WLTC3 returns the WLTP class-3b cycle (≈1800 s, ≈23.3 km, avg ≈46.5 km/h,
 // max ≈131 km/h — four phases from low to extra-high speed).
 func WLTC3() *Cycle {
-	c := synthesize("WLTC3", 10, []microTrip{
+	c := mustSynthesize("WLTC3", 10, []microTrip{
 		// Low phase: urban stop-and-go.
 		{peakKmh: 40, accel: 1.0, decel: 1.1, cruise: 25, idle: 20, repeat: 7},
 		// Medium phase.
@@ -30,7 +31,7 @@ func WLTC3() *Cycle {
 // JC08 returns the Japanese JC08 cycle (≈1204 s, ≈8.2 km, avg ≈24.4 km/h,
 // max ≈81.6 km/h — dense urban with one expressway excursion).
 func JC08() *Cycle {
-	return synthesize("JC08", 25, []microTrip{
+	return mustSynthesize("JC08", 25, []microTrip{
 		{peakKmh: 81, accel: 0.9, decel: 1.0, cruise: 50, idle: 20},
 		{peakKmh: 60, accel: 0.9, decel: 1.0, cruise: 40, idle: 25, repeat: 3},
 		{peakKmh: 35, accel: 0.8, decel: 1.0, cruise: 25, idle: 30, repeat: 6},
@@ -41,7 +42,7 @@ func JC08() *Cycle {
 // ArtemisUrban returns the Artemis urban cycle (≈993 s, ≈4.9 km,
 // avg ≈17.7 km/h, max ≈57.3 km/h — European real-traffic urban driving).
 func ArtemisUrban() *Cycle {
-	return synthesize("ARTEMIS-URBAN", 20, []microTrip{
+	return mustSynthesize("ARTEMIS-URBAN", 20, []microTrip{
 		{peakKmh: 57, accel: 1.3, decel: 1.4, cruise: 25, idle: 18, repeat: 2},
 		{peakKmh: 40, accel: 1.2, decel: 1.3, cruise: 22, idle: 20, repeat: 6},
 		{peakKmh: 25, accel: 1.0, decel: 1.2, cruise: 14, idle: 22, repeat: 8},
@@ -56,7 +57,7 @@ func Concat(name string, cycles ...*Cycle) (*Cycle, error) {
 	}
 	out := &Cycle{Name: name, DT: cycles[0].DT}
 	for _, c := range cycles {
-		if c.DT != out.DT {
+		if !floats.Eq(c.DT, out.DT) {
 			return nil, fmt.Errorf("drivecycle: Concat sampling mismatch: %g vs %g", c.DT, out.DT)
 		}
 		out.Speed = append(out.Speed, c.Speed...)
@@ -69,6 +70,7 @@ func Concat(name string, cycles ...*Cycle) (*Cycle, error) {
 // robustness studies.
 func (c *Cycle) ScaleSpeed(factor float64) *Cycle {
 	if factor <= 0 {
+		//lint:ignore nopanic tested argument contract (TestScaleSpeedPanicsOnNonPositive): a non-positive severity factor is a programmer error
 		panic("drivecycle: ScaleSpeed factor must be > 0")
 	}
 	out := c.Clone()

@@ -80,7 +80,7 @@ func Synthesize(cfg SynthConfig) (*Cycle, error) {
 		peakMs := peak / 3.6
 		elapsed += peakMs/accel + cruise + peakMs/decel + idle
 	}
-	c := synthesize(cfg.Name, 5, trips)
+	c := mustSynthesize(cfg.Name, 5, trips)
 	// Trim to the target duration, ending at standstill for realism.
 	n := int(math.Min(float64(len(c.Speed)), cfg.TargetDuration))
 	c.Speed = c.Speed[:n]

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cooling"
 	"repro/internal/core"
+	"repro/internal/core/floats"
 	"repro/internal/drivecycle"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -62,7 +63,7 @@ type Evaluation struct {
 }
 
 // Feasible reports whether the design held the thermal-safety constraint.
-func (e Evaluation) Feasible() bool { return e.ViolationSec == 0 }
+func (e Evaluation) Feasible() bool { return floats.Zero(e.ViolationSec) }
 
 // Config describes an exploration.
 type Config struct {
@@ -89,6 +90,7 @@ func (c Config) withDefaults() Config {
 	if c.Repeats < 1 {
 		c.Repeats = 3
 	}
+	//lint:ignore floatcompare the zero-value CostModel is the documented use-defaults sentinel; exact compare intended
 	if c.Cost == (CostModel{}) {
 		c.Cost = DefaultCostModel()
 	}

@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/core/floats"
 	"repro/internal/drivecycle"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -84,7 +85,7 @@ func RunContext(ctx context.Context, spec RunSpec) (sim.Result, error) {
 	if spec.Repeats < 1 {
 		spec.Repeats = 1
 	}
-	if spec.UltracapF == 0 {
+	if floats.Zero(spec.UltracapF) {
 		spec.UltracapF = 25000
 	}
 	cycle, err := drivecycle.ByName(spec.Cycle)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/sim"
 )
 
@@ -151,7 +152,7 @@ func TrainMarkov(series [][]float64, bins int) (*Markov, error) {
 	if !seen {
 		return nil, errors.New("forecast: no training data")
 	}
-	if hi == lo {
+	if floats.Eq(hi, lo) {
 		hi = lo + 1
 	}
 	m := &Markov{
@@ -189,7 +190,7 @@ func TrainMarkov(series [][]float64, bins int) (*Markov, error) {
 		for _, c := range counts[i] {
 			total += c
 		}
-		if total == 0 {
+		if floats.Zero(total) {
 			// Unvisited bin: self-loop.
 			m.trans[i][i] = 1
 			continue
@@ -222,11 +223,13 @@ func (m *Markov) Predict(dst []float64, present float64) {
 			m.next[j] = 0
 		}
 		for i, pi := range m.dist {
+			//lint:ignore floatcompare sparsity skip: distribution entries are exactly 0 unless assigned; an epsilon would drop real small probabilities
 			if pi == 0 {
 				continue
 			}
 			row := m.trans[i]
 			for j, pij := range row {
+				//lint:ignore floatcompare sparsity skip: transition entries are exactly 0 unless trained; an epsilon would drop real small probabilities
 				if pij != 0 {
 					m.next[j] += pi * pij
 				}

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"repro/internal/charger"
+	"repro/internal/core/floats"
 	"repro/internal/sim"
 )
 
@@ -45,7 +46,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.EndOfLifePct == 0 {
+	if floats.Zero(c.EndOfLifePct) {
 		c.EndOfLifePct = 20
 	}
 	if c.BlockRoutes == 0 {
@@ -54,10 +55,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxRoutes == 0 {
 		c.MaxRoutes = 40000
 	}
-	if c.ResistanceGrowthPerPct == 0 {
+	if floats.Zero(c.ResistanceGrowthPerPct) {
 		c.ResistanceGrowthPerPct = 0.02
 	}
-	if c.ChargeAmbient == 0 {
+	if floats.Zero(c.ChargeAmbient) {
 		c.ChargeAmbient = 298
 	}
 	return c
@@ -163,7 +164,7 @@ func ProjectContext(ctx context.Context, newPlant PlantFactory, newController Co
 		if rate <= 0 {
 			return nil, fmt.Errorf("lifetime: non-positive per-route loss %g", rate)
 		}
-		if firstRate == 0 {
+		if floats.Zero(firstRate) {
 			firstRate = rate
 		}
 		out.Points = append(out.Points, Point{Routes: routes, CapacityLossPct: loss, LossPerRoutePct: rate})

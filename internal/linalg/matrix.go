@@ -1,5 +1,14 @@
 package linalg
 
+// This file follows the BLAS/gonum kernel conventions: dimension misuse
+// panics are the documented API contract (callers hold the invariants, and
+// the MPC hot loop cannot afford error plumbing per Dot), and exact
+// floating-point zero tests implement sparsity fast paths and
+// division-by-zero singularity guards whose semantics an epsilon would
+// change.
+//lint:file-ignore nopanic dimension-misuse panics are the documented kernel contract, per the gonum convention
+//lint:file-ignore floatcompare exact zero tests here are sparsity skips and singularity guards; an epsilon would alter numerics
+
 import (
 	"errors"
 	"fmt"

@@ -7,6 +7,11 @@
 // conscious APIs in the spirit of the standard library.
 package linalg
 
+// See matrix.go: kernel-convention panics and exact zero tests are the
+// contract in this file too.
+//lint:file-ignore nopanic dimension-misuse panics are the documented kernel contract, per the gonum convention
+//lint:file-ignore floatcompare the exact zero test in Norm2 is the LAPACK dnrm2 scaling idiom; an epsilon would alter numerics
+
 import (
 	"fmt"
 	"math"

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run(*Pass)) so the
+// analyzers can migrate to the real framework wholesale if the dependency
+// ever becomes available; the subset implemented here is what an offline,
+// stdlib-only driver can support (no facts, no analyzer DAG).
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //lint:ignore
+	// directives. It must look like a Go identifier.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary, the
+	// rest explains the rule and the sanctioned fix.
+	Doc string
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos in Files to file positions.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files of the package.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, mirroring analysis.Diagnostic.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the driver.
+	Analyzer string
+}
+
+// errorType is the predeclared error interface, shared by analyzers that
+// need to ask whether a type implements error.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}
+
+// enclosingFuncName returns the name of the innermost FuncDecl in stack
+// (an ancestor chain as maintained by inspectWithStack), or "" when the
+// node is not inside a function declaration (e.g. a var initializer).
+// Function literals are attributed to the declaration they appear in.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// inspectWithStack walks every file of the pass in source order, calling
+// visit with each node and the stack of its ancestors (outermost first,
+// not including the node itself).
+func inspectWithStack(pass *Pass, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			visit(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

@@ -1,0 +1,23 @@
+package lint
+
+// All returns the full otem-lint suite in reporting order. The slice is
+// freshly allocated; callers may filter it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetRand,
+		ErrWrapCheck,
+		FloatCompare,
+		NakedGoroutine,
+		NoPanic,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package lint is otem-lint: a domain-aware static-analysis suite that
+// gates the whole simulator.
+//
+// It mirrors the golang.org/x/tools/go/analysis contract — Analyzer,
+// Pass, Diagnostic, per-package Run — on top of the standard library
+// alone, because this module builds offline with zero third-party
+// dependencies. The driver loads packages with `go list -export -deps
+// -json`, type-checks the targets from source against compiled export
+// data (the same scheme `go vet` uses), runs every analyzer, and filters
+// findings through //lint:ignore / //lint:file-ignore directives.
+//
+// The suite encodes the invariants this reproduction lives or dies by:
+//
+//   - floatcompare: no == / != on floating-point operands; use
+//     repro/internal/core/floats (Eq. 19 cost terms and Arrhenius sums
+//     never compare bit-equal).
+//   - nakedgoroutine: no raw go statements outside internal/runner; all
+//     fan-out goes through the bounded pool.
+//   - errwrapcheck: fmt.Errorf must wrap embedded errors with %w, and
+//     sentinel tests must use errors.Is, so otem.ErrUnknownCycle and
+//     friends survive every layer.
+//   - nopanic: library packages return errors; panic is for init and
+//     Must* constructors (the linalg kernels opt out file-by-file with a
+//     documented contract).
+//   - detrand: no global math/rand or time.Now inside internal/sim,
+//     internal/mpc, internal/policy — replay determinism is a tested
+//     property.
+//
+// Entry points: Load + (*Module).Run for the standalone cmd/otem-lint
+// multichecker (`make lint`), UnitMain for `go vet
+// -vettool=$(otem-lint)`, and RunFixture for analysistest-style fixture
+// tests under testdata/src.
+package lint

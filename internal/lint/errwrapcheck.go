@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrWrapCheck enforces wrap-aware error plumbing.
+//
+// The facade exposes sentinel errors (otem.ErrUnknownCycle,
+// otem.ErrUnknownBaseline, runner.ErrCanceled) that callers are documented
+// to test with errors.Is. That contract only holds if every layer wraps
+// with %w and never compares errors with ==. Two rules:
+//
+//  1. a fmt.Errorf argument that is an error must be formatted with %w,
+//     not %v/%s/%q/..., so the chain stays inspectable;
+//  2. == / != between two non-nil error values is forbidden — use
+//     errors.Is, which sees through wrapping.
+var ErrWrapCheck = &Analyzer{
+	Name: "errwrapcheck",
+	Doc: `require %w for errors in fmt.Errorf and errors.Is for comparisons
+
+fmt.Errorf("...: %v", err) erases the unwrap chain, breaking
+errors.Is(err, otem.ErrUnknownCycle) and friends at every layer above;
+use %w. Likewise err == ErrSentinel misses wrapped sentinels; use
+errors.Is(err, ErrSentinel). Comparisons against nil are fine.`,
+	Run: runErrWrapCheck,
+}
+
+func runErrWrapCheck(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfCall(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilExpr(info, n.X) || isNilExpr(info, n.Y) {
+					return true
+				}
+				tx, ty := info.Types[n.X].Type, info.Types[n.Y].Type
+				if tx != nil && ty != nil && implementsError(tx) && implementsError(ty) {
+					pass.Reportf(n.OpPos, "error compared with %s; use errors.Is so wrapped sentinels still match", n.Op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfCall flags fmt.Errorf calls that format an error argument
+// with a verb other than %w.
+func checkErrorfCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	args := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.verb == 'w' || v.argIndex >= len(args) {
+			continue
+		}
+		arg := args[v.argIndex]
+		t := pass.TypesInfo.Types[arg].Type
+		if t == nil || !implementsError(t) {
+			continue
+		}
+		// A type that merely has an Error method but is being
+		// formatted as a plain value is still an error to the reader;
+		// keep this strict and let //lint:ignore cover exceptions.
+		pass.Reportf(arg.Pos(), "error formatted with %%%c in fmt.Errorf; use %%w so errors.Is/As can unwrap it", v.verb)
+	}
+}
+
+// verbUse is one conversion in a format string and the argument it binds.
+type verbUse struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs walks a Printf-style format string and pairs each verb with
+// its argument index, accounting for %%, flags, *-widths and [n] argument
+// indexes. It is deliberately forgiving: on malformed input it simply
+// stops pairing, leaving any remaining verbs unreported (gate analyzers
+// must never false-positive on garbage).
+func parseVerbs(format string) []verbUse {
+	var out []verbUse
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(rs) && isFlag(rs[i]) {
+			i++
+		}
+		// Width / precision, each possibly '*' (which consumes an arg).
+		for i < len(rs) && (rs[i] == '*' || rs[i] == '.' || isDigit(rs[i])) {
+			if rs[i] == '*' {
+				arg++
+			}
+			i++
+		}
+		// Explicit argument index [n].
+		if i < len(rs) && rs[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(rs) && isDigit(rs[j]) {
+				n = n*10 + int(rs[j]-'0')
+				j++
+			}
+			if j >= len(rs) || rs[j] != ']' || n == 0 {
+				return out // malformed; stop pairing
+			}
+			arg = n - 1
+			i = j + 1
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, verbUse{verb: rs[i], argIndex: arg})
+		arg++
+	}
+	return out
+}
+
+func isFlag(r rune) bool  { return r == '+' || r == '-' || r == '#' || r == ' ' || r == '0' }
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare forbids == and != between floating-point operands.
+//
+// Every headline number OTEM reports — Eq. 19 cost, Arrhenius capacity
+// loss, energy tallies — is an accumulated float, so exact equality is
+// either vacuously true (fresh zero values) or silently false (after one
+// Euler step). The sanctioned replacements are floats.Zero / floats.Eq
+// from repro/internal/core/floats, or an explicit //lint:ignore with a
+// reason when bit-exact comparison is the point (e.g. the epsilon helper
+// itself, or IEEE special-value plumbing).
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc: `forbid == and != between floating-point operands
+
+Comparing accumulated floats for exact equality is the classic silent
+simulator bug. Use floats.Eq / floats.Zero (repro/internal/core/floats)
+or suppress with //lint:ignore floatcompare <reason> where exactness is
+intended. Comparisons between two compile-time constants and the x != x
+NaN idiom are allowed. Struct and array equality is flagged too when the
+element types contain floats.`,
+	Run: runFloatCompare,
+}
+
+func runFloatCompare(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.TypesInfo.Types[be.X]
+			ty := pass.TypesInfo.Types[be.Y]
+			if !containsFloat(tx.Type) && !containsFloat(ty.Type) {
+				return true
+			}
+			// Two compile-time constants compare exactly; the checker
+			// already folded the answer.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			// x != x is the portable NaN test.
+			if be.Op == token.NEQ && sameExpr(be.X, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point comparison with %s; use floats.Eq/floats.Zero (repro/internal/core/floats) or //lint:ignore floatcompare <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// containsFloat reports whether a value of type t compares (at some depth)
+// by floating-point equality: floats and complex numbers themselves, and
+// arrays/structs with such elements.
+func containsFloat(t types.Type) bool {
+	return containsFloatSeen(t, make(map[types.Type]bool))
+}
+
+func containsFloatSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Array:
+		return containsFloatSeen(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloatSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sameExpr conservatively reports whether two expressions are
+// syntactically identical simple chains (identifiers and field selections
+// without calls), enough to recognise the x != x NaN idiom.
+func sameExpr(a, b ast.Expr) bool {
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		return ok && ae.Name == be.Name
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		return ok && ae.Sel.Name == be.Sel.Name && sameExpr(ae.X, be.X)
+	case *ast.ParenExpr:
+		be, ok := b.(*ast.ParenExpr)
+		return ok && sameExpr(ae.X, be.X)
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The analysistest-style fixture suites: each analyzer must fire on every
+// want-annotated line of its fixture and stay silent everywhere else
+// (clean files and exempted packages are part of the same fixtures).
+
+func TestFloatCompareFixture(t *testing.T)   { RunFixture(t, FloatCompare, "floatcompare") }
+func TestNakedGoroutineFixture(t *testing.T) { RunFixture(t, NakedGoroutine, "nakedgoroutine") }
+func TestErrWrapCheckFixture(t *testing.T)   { RunFixture(t, ErrWrapCheck, "errwrapcheck") }
+func TestNoPanicFixture(t *testing.T)        { RunFixture(t, NoPanic, "nopanic") }
+func TestDetRandFixture(t *testing.T)        { RunFixture(t, DetRand, "detrand") }
+
+// TestDirectives drives the suppression machinery (line, trailing, file
+// and wildcard forms) plus the lintdirective findings for malformed
+// directives, using floatcompare as the probe analyzer.
+func TestDirectives(t *testing.T) { RunFixture(t, FloatCompare, "directives") }
+
+// TestRepoClean is the gate in test form: the full module must produce
+// zero findings, the same bar `make lint` enforces in CI.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	mod, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(mod.Packages) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(mod.Packages))
+	}
+	for _, f := range mod.Run(All()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestVetToolProtocol builds cmd/otem-lint and runs it the way CI's
+// `go vet -vettool` does, proving the unitchecker handshake (-V=full,
+// -flags, pkg.cfg) against the real go command.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "otem-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/otem-lint")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building otem-lint: %v\n%s", err, out)
+	}
+
+	// A clean leaf package must vet clean through the tool.
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/core/floats")
+	vet.Dir = "../.."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+
+	// A package with a violation must fail and name the analyzer.
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(src, []byte("package bad\n\nfunc eq(a, b float64) bool { return a == b }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	gomod := filepath.Join(dir, "go.mod")
+	if err := os.WriteFile(gomod, []byte("module bad\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vet = exec.Command("go", "vet", "-vettool="+bin, ".")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on violating package succeeded, want failure\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("floatcompare")) {
+		t.Fatalf("vet output does not mention floatcompare:\n%s", out)
+	}
+}
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verbUse
+	}{
+		{"plain", nil},
+		{"%d", []verbUse{{'d', 0}}},
+		{"%v %w", []verbUse{{'v', 0}, {'w', 1}}},
+		{"100%% done: %s", []verbUse{{'s', 0}}},
+		{"%+v", []verbUse{{'v', 0}}},
+		{"%.3f", []verbUse{{'f', 0}}},
+		{"%*d %v", []verbUse{{'d', 1}, {'v', 2}}},
+		{"%[2]s %[1]v", []verbUse{{'s', 1}, {'v', 0}}},
+		{"%", nil},
+		{"%[", nil},
+	}
+	for _, c := range cases {
+		got := parseVerbs(c.format)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseVerbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) != nil")
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedGoroutine forbids raw `go` statements outside internal/runner.
+//
+// PR 1 centralised all fan-out in the bounded worker pool
+// (repro/internal/runner) precisely so that concurrency limits, panic
+// isolation and cancellation live in one audited place. A `go` statement
+// anywhere else reintroduces unbounded, unsupervised concurrency that the
+// 1-vs-8-worker determinism sweep cannot see.
+var NakedGoroutine = &Analyzer{
+	Name: "nakedgoroutine",
+	Doc: `forbid raw go statements outside repro/internal/runner
+
+All concurrency must flow through the bounded worker pool in
+internal/runner (Pool.Map / RunBatch), which owns panic recovery,
+cancellation and worker accounting. Spawning a goroutine anywhere else
+bypasses those guarantees; route the work through the pool or suppress
+with //lint:ignore nakedgoroutine <reason>.`,
+	Run: runNakedGoroutine,
+}
+
+func runNakedGoroutine(pass *Pass) error {
+	if isRunnerPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Go, "naked go statement outside internal/runner; use the bounded pool (runner.Pool / otem.RunBatch) so cancellation and panic isolation apply")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRunnerPackage matches the worker-pool package by path suffix so the
+// analyzer also recognises the testdata fixture that stands in for it.
+func isRunnerPackage(path string) bool {
+	return path == "repro/internal/runner" || strings.HasSuffix(path, "/internal/runner")
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is a Diagnostic with its position resolved, ready to print or
+// assert on.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every loaded package, filters the results
+// through //lint:ignore and //lint:file-ignore directives, and returns the
+// surviving findings sorted by position.
+//
+// Two directive forms are honoured, mirroring staticcheck's:
+//
+//	//lint:ignore <checks> <reason>       suppress on this or the next line
+//	//lint:file-ignore <checks> <reason>  suppress in the whole file
+//
+// <checks> is a comma-separated list of analyzer names, or "all". The
+// reason is mandatory — a directive without one is itself reported as a
+// finding (analyzer "lintdirective"), so suppressions stay auditable.
+func (m *Module) Run(analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		sup, bad := collectDirectives(m.Fset, pkg.Files)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      m.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := m.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      token.Position{Filename: pkg.Path},
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// RunForTypes runs analyzers over an already type-checked package — the
+// entry point shared by the unitchecker (`go vet -vettool`) path, which
+// gets its type information from vet's config file rather than Load.
+func RunForTypes(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Finding {
+	m := &Module{Fset: fset, Packages: []*Package{{
+		Path:  pkg.Path(),
+		Name:  pkg.Name(),
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}}}
+	return m.Run(analyzers)
+}
+
+// suppressions records which analyzers are silenced where.
+type suppressions struct {
+	// file maps filename -> analyzer set silenced for the whole file.
+	file map[string]map[string]bool
+	// line maps filename -> line -> analyzer set. A line directive
+	// covers its own line (trailing comment) and the one below it
+	// (comment on the line above the offending statement).
+	line map[string]map[int]map[string]bool
+}
+
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	if set := s.file[pos.Filename]; set["all"] || set[analyzer] {
+		return true
+	}
+	lines := s.line[pos.Filename]
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if set := lines[ln]; set["all"] || set[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans the comments of every file for //lint:
+// directives. Malformed directives come back as findings so they fail the
+// gate instead of silently suppressing nothing (or everything).
+func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
+	sup := suppressions{
+		file: make(map[string]map[string]bool),
+		line: make(map[string]map[int]map[string]bool),
+	}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  fmt.Sprintf("unknown //lint: directive %q (want ignore or file-ignore)", text),
+					})
+					continue
+				}
+				if len(fields) < 3 {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  fmt.Sprintf("malformed //lint:%s directive: want \"//lint:%s <checks> <reason>\" with a non-empty reason", fields[0], fields[0]),
+					})
+					continue
+				}
+				names := strings.Split(fields[1], ",")
+				switch fields[0] {
+				case "file-ignore":
+					set := sup.file[pos.Filename]
+					if set == nil {
+						set = make(map[string]bool)
+						sup.file[pos.Filename] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				case "ignore":
+					byLine := sup.line[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						sup.line[pos.Filename] = byLine
+					}
+					set := byLine[pos.Line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[pos.Line] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,13 @@
+// Package outside is not one of the deterministic packages, so the
+// global source is tolerated here (synthetic drive-cycle generators and
+// tests use it deliberately).
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Noise() float64 { return rand.Float64() }
+
+func Wall() time.Time { return time.Now() }

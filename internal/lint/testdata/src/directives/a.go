@@ -1,0 +1,26 @@
+// Package directives exercises the suppression machinery shared by all
+// analyzers: //lint:ignore (line), //lint:file-ignore (file), and the
+// lintdirective findings for malformed directives.
+package directives
+
+func above(a, b float64) bool {
+	//lint:ignore floatcompare fixture: exact comparison is the point here
+	return a == b
+}
+
+func trailing(a, b float64) bool {
+	return a == b //lint:ignore floatcompare fixture: trailing directive form
+}
+
+func wildcard(a, b float64) bool {
+	//lint:ignore all fixture: the wildcard silences every analyzer
+	return a == b
+}
+
+func unsuppressed(a, b float64) bool {
+	return a == b // want `floating-point comparison with ==`
+}
+
+/* want `unknown //lint: directive` */ //lint:frobnicate floatcompare nope
+
+/* want `malformed //lint:ignore directive` */ //lint:ignore floatcompare

@@ -1,0 +1,12 @@
+// This file opts out of floatcompare wholesale; nothing here may be
+// reported even without line directives.
+
+//lint:file-ignore floatcompare fixture: whole-file suppression form
+package directives
+
+func fileWide(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return a != b
+}

@@ -1,0 +1,47 @@
+// Package errwrapcheck exercises both errwrapcheck rules: %w wrapping in
+// fmt.Errorf and errors.Is for sentinel comparisons.
+package errwrapcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrSentinel = errors.New("sentinel")
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func wrapV(err error) error {
+	return fmt.Errorf("replan failed: %v", err) // want `error formatted with %v in fmt.Errorf`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("replan failed: %s", err) // want `error formatted with %s in fmt.Errorf`
+}
+
+func wrapQ(err error) error {
+	return fmt.Errorf("replan failed: %q", err) // want `error formatted with %q in fmt.Errorf`
+}
+
+func wrapConcrete(e *codeError) error {
+	return fmt.Errorf("replan failed: %v", e) // want `error formatted with %v in fmt.Errorf`
+}
+
+func wrapStarWidth(err error, w int) error {
+	// The * width consumes an argument; the %v still binds err.
+	return fmt.Errorf("%*d: %v", w, 7, err) // want `error formatted with %v in fmt.Errorf`
+}
+
+func wrapIndexed(err error) error {
+	return fmt.Errorf("%[2]s before %[1]v", err, "ctx") // want `error formatted with %v in fmt.Errorf`
+}
+
+func compareSentinel(err error) bool {
+	return err == ErrSentinel // want `error compared with ==`
+}
+
+func compareNE(err, other error) bool {
+	return err != other // want `error compared with !=`
+}

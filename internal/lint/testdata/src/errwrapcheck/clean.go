@@ -1,0 +1,29 @@
+package errwrapcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+func wrapW(err error) error {
+	return fmt.Errorf("replan failed: %w", err) // %w keeps the chain
+}
+
+func wrapTwo(a, b error) error {
+	return fmt.Errorf("both failed: %w / %w", a, b) // multiple %w is fine (go1.20+)
+}
+
+func formatValue(step int, soc float64) error {
+	return fmt.Errorf("step %d infeasible at soc %.3f", step, soc) // no error args
+}
+
+func wrapMessage(err error) error {
+	return fmt.Errorf("note %q: %w", err.Error(), err) // the string is not an error value
+}
+
+func nilChecks(err error) bool {
+	if err == nil { // nil comparisons stay idiomatic
+		return false
+	}
+	return errors.Is(err, ErrSentinel) // the sanctioned sentinel test
+}

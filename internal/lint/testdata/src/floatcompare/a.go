@@ -1,0 +1,40 @@
+// Package floatcompare exercises the floatcompare analyzer: every
+// flagged line carries a want expectation; clean.go holds the allowed
+// forms.
+package floatcompare
+
+type state struct {
+	soc  float64
+	temp float64
+}
+
+type pair struct{ x, y float64 }
+
+func bad(a, b float64, s state) bool {
+	if a == b { // want `floating-point comparison with ==`
+		return true
+	}
+	if s.soc != 0 { // want `floating-point comparison with !=`
+		return true
+	}
+	var f float32
+	if f == 1.5 { // want `floating-point comparison with ==`
+		return true
+	}
+	var p, q pair
+	if p == q { // want `floating-point comparison with ==`
+		return true
+	}
+	var c complex128
+	if c == 0 { // want `floating-point comparison with ==`
+		return true
+	}
+	var arr1, arr2 [3]float64
+	return arr1 == arr2 // want `floating-point comparison with ==`
+}
+
+type kelvin float64
+
+func named(t kelvin) bool {
+	return t == 273.15 // want `floating-point comparison with ==`
+}

@@ -1,0 +1,20 @@
+package floatcompare
+
+const eps = 1e-9
+
+func clean(n, m int, a float64, s string) bool {
+	if n == m { // integers compare exactly
+		return true
+	}
+	if s == "x" { // strings too
+		return true
+	}
+	if a != a { // the portable NaN test is allowed
+		return true
+	}
+	const half = 0.5
+	if half == 0.25+0.25 { // two constants fold at compile time
+		return true
+	}
+	return a-0.5 < eps // ordered comparisons are fine
+}

@@ -1,0 +1,21 @@
+// Package other is any package that is not the worker pool: go
+// statements here must be flagged.
+package other
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want `naked go statement outside internal/runner`
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+func fire(f func()) {
+	go f() // want `naked go statement outside internal/runner`
+}

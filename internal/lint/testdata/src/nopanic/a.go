@@ -1,0 +1,40 @@
+// Package nopanic exercises the nopanic analyzer: panic is allowed only
+// in init functions and Must*-style constructors.
+package nopanic
+
+import "errors"
+
+var ErrEmpty = errors.New("empty")
+
+func Parse(s string) (int, error) {
+	if s == "" {
+		panic("empty input") // want `panic in library code \(func Parse\)`
+	}
+	return len(s), nil
+}
+
+func Handler() func() {
+	return func() {
+		panic("nested") // want `panic in library code \(func Handler\)`
+	}
+}
+
+func MustParse(s string) int {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err) // allowed: Must*-style constructor
+	}
+	return n
+}
+
+func mustDefaults() int {
+	panic("unreachable") // allowed: unexported must* helper
+}
+
+var registry = map[string]int{}
+
+func init() {
+	if len(registry) > 1<<20 {
+		panic("nopanic fixture: impossible registry size") // allowed: init-time wiring
+	}
+}

@@ -1,0 +1,8 @@
+// Command mainpkg shows the package-main exemption: CLIs may die loudly.
+package main
+
+func main() {
+	if len("argv") > 9000 {
+		panic("CLIs may panic") // allowed: package main
+	}
+}

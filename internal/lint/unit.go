@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// UnitConfig is the JSON compilation-unit description `go vet -vettool`
+// hands the tool (one file per package, name ending in .cfg). The field
+// set mirrors x/tools' unitchecker.Config; fields this driver does not
+// need are omitted from decoding but tolerated in the input.
+type UnitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	ImportMap    map[string]string // import path -> canonical package path
+	PackageFile  map[string]string // package path -> export data file
+	Standard     map[string]bool
+	VetxOnly     bool
+	VetxOutput   string
+	PackageVetx  map[string]string
+	ModulePath   string
+	IgnoredFiles []string
+}
+
+// RunUnit analyzes the single compilation unit described by cfgFile — the
+// `go vet -vettool=$(otem-lint)` path. The go command has already
+// compiled all dependencies, so types come from the export data listed in
+// the config rather than from a `go list` walk.
+//
+// Findings in _test.go files are dropped for parity with the standalone
+// driver (the gate covers production code; vet feeds test units too).
+func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("lint: cannot decode vet config %s: %w", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("lint: package has no files: %s", cfg.ImportPath)
+	}
+
+	// The go command caches analysis output keyed on the "vetx" facts
+	// file; this suite is fact-free, so an empty file satisfies the
+	// protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("lint: write vetx output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	all := RunForTypes(fset, files, pkg, info, analyzers)
+	var out []Finding
+	for _, f := range all {
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

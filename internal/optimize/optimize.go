@@ -318,6 +318,7 @@ func e2lineSearch(ev *evaluator, p *Problem, x []float64, f float64, g, dir, xNe
 		moved := false
 		for i := range xNew {
 			d := xNew[i] - x[i]
+			//lint:ignore floatcompare projection no-op detection must see bit-level movement; an epsilon would stall convergence detection
 			if d != 0 {
 				moved = true
 			}
@@ -396,6 +397,7 @@ func projectedGradNorm(p *Problem, x, g []float64) float64 {
 // of f at x into grad. x is used as scratch but restored before returning.
 func NumericGradient(f func([]float64) float64, x, grad []float64) {
 	if len(x) != len(grad) {
+		//lint:ignore nopanic argument contract shared with the gonum-style kernels: mismatched scratch lengths are programmer errors
 		panic("optimize: NumericGradient length mismatch")
 	}
 	// h ~ cbrt(eps) balances truncation and rounding error for central

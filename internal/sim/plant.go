@@ -4,6 +4,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/converter"
 	"repro/internal/cooling"
+	"repro/internal/core/floats"
 	"repro/internal/hees"
 	"repro/internal/ultracap"
 )
@@ -32,7 +33,7 @@ type PlantConfig struct {
 
 // Defaults fills unset (zero) fields with the paper's experimental setup.
 func (c PlantConfig) Defaults() PlantConfig {
-	if c.UltracapF == 0 {
+	if floats.Zero(c.UltracapF) {
 		c.UltracapF = 25000
 	}
 	if c.PackSeries == 0 {
@@ -41,19 +42,19 @@ func (c PlantConfig) Defaults() PlantConfig {
 	if c.PackParallel == 0 {
 		c.PackParallel = 24
 	}
-	if c.InitialSoC == 0 {
+	if floats.Zero(c.InitialSoC) {
 		c.InitialSoC = 1.0
 	}
-	if c.InitialSoE == 0 {
+	if floats.Zero(c.InitialSoE) {
 		c.InitialSoE = 1.0
 	}
-	if c.InitialTemp == 0 {
+	if floats.Zero(c.InitialTemp) {
 		c.InitialTemp = 298
 	}
-	if c.Ambient == 0 {
+	if floats.Zero(c.Ambient) {
 		c.Ambient = 298
 	}
-	if c.DT == 0 {
+	if floats.Zero(c.DT) {
 		c.DT = 1
 	}
 	return c

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/cooling"
+	"repro/internal/core/floats"
 	"repro/internal/hees"
 	"repro/internal/runner"
 	"repro/internal/ultracap"
@@ -191,7 +192,7 @@ type Result struct {
 // the capacity loss of this run relative to a baseline run (lower is
 // better; the baseline is 1.0 by construction).
 func (r Result) BLTRatio(baseline Result) float64 {
-	if baseline.QlossPct == 0 {
+	if floats.Zero(baseline.QlossPct) {
 		return math.Inf(1)
 	}
 	return r.QlossPct / baseline.QlossPct
@@ -202,7 +203,7 @@ func (r Result) BLTRatio(baseline Result) float64 {
 // time to reach end-of-life (20 % capacity loss, §I) scales inversely with
 // the per-route loss.
 func (r Result) LifetimeExtensionPct(baseline Result) float64 {
-	if r.QlossPct == 0 {
+	if floats.Zero(r.QlossPct) {
 		return math.Inf(1)
 	}
 	return (baseline.QlossPct/r.QlossPct - 1) * 100

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/units"
 )
 
@@ -161,14 +162,14 @@ func (b *Bank) Step(power, dt float64) (StepResult, error) {
 		i    float64
 		loss float64
 	)
-	if power != 0 {
+	if !floats.Zero(power) {
 		if v <= 0 && power > 0 {
 			return StepResult{}, ErrEmpty
 		}
 		// Solve (V − R·I)·I = P for the terminal current when discharging;
 		// when charging the same quadratic gives the negative root.
 		r := b.Params.ESR
-		if r == 0 {
+		if floats.Zero(r) {
 			if v <= 0 {
 				// Charging a fully empty ideal bank: current is defined by
 				// energy flow only; approximate with V at the end of step.
@@ -215,7 +216,7 @@ func (b *Bank) Step(power, dt float64) (StepResult, error) {
 // capped by the C7 limit.
 func (b *Bank) MaxDischargePower() float64 {
 	v := b.Voltage()
-	if b.Params.ESR == 0 {
+	if floats.Zero(b.Params.ESR) {
 		return b.Params.MaxPower
 	}
 	return math.Min(v*v/(4*b.Params.ESR), b.Params.MaxPower)

@@ -65,6 +65,7 @@ func JouleToKWh(j float64) float64 { return j / 3.6e6 }
 // Clamp limits x to the closed interval [lo, hi]. It panics if lo > hi.
 func Clamp(x, lo, hi float64) float64 {
 	if lo > hi {
+		//lint:ignore nopanic tested argument contract: an inverted interval is a programmer error, and Clamp is too hot for an error return
 		panic("units: Clamp called with lo > hi")
 	}
 	if x < lo {
