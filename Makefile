@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race race-grids bench vet lint lint-vet fmt
+.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt
 
 build:
 	$(GO) build ./...
@@ -14,17 +14,33 @@ vet:
 
 # The domain-aware analyzers (internal/lint via cmd/otem-lint): exact
 # float comparisons, goroutines outside internal/runner, unwrapped
-# fmt.Errorf error args, panics outside Must* constructors, and
-# nondeterminism (global rand / time.Now) in the simulation core.
-# Exits non-zero on any finding.
+# fmt.Errorf error args, panics outside Must* constructors, direct and
+# transitive nondeterminism (global rand / time.Now) in the simulation
+# core, discarded errors from module APIs, and arithmetic mixing
+# conflicting unit suffixes. Runs the parallel DAG scheduler with
+# cross-package fact propagation. Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/otem-lint ./...
 
+# The same sweep rendered as SARIF 2.1.0 for code-scanning upload.
+# `|| true` keeps the log usable in CI: findings fail the build via the
+# plain `lint` gate, not via this render step.
+lint-sarif:
+	$(GO) run ./cmd/otem-lint -format=sarif ./... > otem-lint.sarif || true
+
 # The same analyzers driven by the go command's unitchecker protocol,
-# proving cmd/otem-lint works as a drop-in `go vet -vettool`.
+# proving cmd/otem-lint works as a drop-in `go vet -vettool` with facts
+# flowing between compilation units through vetx files.
 lint-vet:
 	$(GO) build -o bin/otem-lint ./cmd/otem-lint
 	$(GO) vet -vettool=bin/otem-lint ./...
+
+# Sequential reference driver vs parallel DAG scheduler over the whole
+# module; records GOMAXPROCS, best-of-three times and the speedup to
+# BENCH_lint.json (committed so scheduler regressions are visible in
+# review).
+lint-bench:
+	$(GO) run ./cmd/otem-lint -benchjson BENCH_lint.json ./...
 
 fmt:
 	gofmt -l .

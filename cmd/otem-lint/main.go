@@ -6,10 +6,17 @@
 //	otem-lint [flags] [packages]     # packages default to ./...
 //	otem-lint -list                  # describe the analyzers
 //	otem-lint -floatcompare -detrand ./internal/...   # subset
+//	otem-lint -format=sarif ./... > findings.sarif    # SARIF 2.1.0
+//
+// The driver schedules analyzers over the package-dependency DAG on the
+// bounded worker pool (repro/internal/runner), propagating analysis facts
+// from dependencies to dependents; -seq selects the sequential reference
+// driver (byte-identical output), and -benchjson records a
+// sequential-vs-parallel comparison.
 //
 // It also speaks the `go vet -vettool` protocol (-V=full, -flags, and a
 // single pkg.cfg argument), so the same binary plugs into the build
-// cache:
+// cache, with facts flowing between compilation units through vetx files:
 //
 //	go build -o bin/otem-lint ./cmd/otem-lint
 //	go vet -vettool=bin/otem-lint ./...
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -25,9 +33,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -40,6 +51,10 @@ func main() {
 		enabled[a.Name] = flag.Bool(a.Name, false, "run only selected analyzers: "+summary)
 	}
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	seq := flag.Bool("seq", false, "use the sequential reference driver instead of the parallel DAG scheduler")
+	workers := flag.Int("parallel", 0, "worker pool size for the DAG scheduler (default GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "", "measure sequential vs parallel analysis and write a JSON record to this file")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
 	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
 	flag.Usage = func() {
@@ -71,6 +86,12 @@ func main() {
 		return
 	}
 
+	emit, ok := emitters[*format]
+	if !ok {
+		log.Printf("unknown -format %q (want text, json or sarif)", *format)
+		os.Exit(2)
+	}
+
 	args := flag.Args()
 
 	// `go vet -vettool` hands exactly one JSON config file.
@@ -92,19 +113,117 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	mod, err := lint.Load("", patterns...)
+	ctx := context.Background()
+	pool := runner.New(runner.Workers(*workers))
+	mod, err := lint.LoadContext(ctx, pool, "", patterns...)
 	if err != nil {
 		log.Println(err)
 		os.Exit(2)
 	}
-	findings := mod.Run(analyzers)
-	for _, f := range findings {
-		fmt.Printf("%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+
+	if *benchJSON != "" {
+		if err := writeBench(*benchJSON, mod, pool, analyzers); err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	var findings []lint.Finding
+	if *seq {
+		findings = mod.Run(analyzers)
+	} else {
+		findings, err = mod.RunParallel(ctx, pool, analyzers)
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+	}
+	if err := emit(os.Stdout, findings, analyzers); err != nil {
+		log.Println(err)
+		os.Exit(2)
 	}
 	if len(findings) > 0 {
-		fmt.Printf("otem-lint: %d finding(s)\n", len(findings))
+		if *format == "text" {
+			fmt.Printf("otem-lint: %d finding(s)\n", len(findings))
+		}
 		os.Exit(1)
 	}
+}
+
+// emitters maps -format values to renderers.
+var emitters = map[string]func(io.Writer, []lint.Finding, []*lint.Analyzer) error{
+	"text": func(w io.Writer, fs []lint.Finding, _ []*lint.Analyzer) error {
+		return lint.WriteText(w, fs)
+	},
+	"json": func(w io.Writer, fs []lint.Finding, _ []*lint.Analyzer) error {
+		return lint.WriteJSON(w, fs)
+	},
+	"sarif": lint.WriteSARIF,
+}
+
+// benchRecord is the JSON document -benchjson writes: wall-clock times of
+// the sequential reference driver and the parallel DAG scheduler over the
+// same loaded module, and their ratio.
+type benchRecord struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Packages     int     `json:"packages"`
+	Analyzers    int     `json:"analyzers"`
+	Rounds       int     `json:"rounds"`
+	SequentialNs int64   `json:"sequential_ns"`
+	ParallelNs   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	Findings     int     `json:"findings"`
+}
+
+// writeBench times both drivers over the loaded module (best of three
+// rounds each, interleaved) and records the result.
+func writeBench(path string, mod *lint.Module, pool *runner.Pool, analyzers []*lint.Analyzer) error {
+	const rounds = 3
+	ctx := context.Background()
+	var seqBest, parBest time.Duration
+	var findings int
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		fs := mod.Run(analyzers)
+		if d := time.Since(t0); i == 0 || d < seqBest {
+			seqBest = d
+		}
+		findings = len(fs)
+
+		t0 = time.Now()
+		pfs, err := mod.RunParallel(ctx, pool, analyzers)
+		if err != nil {
+			return err
+		}
+		if d := time.Since(t0); i == 0 || d < parBest {
+			parBest = d
+		}
+		if len(pfs) != len(fs) {
+			return fmt.Errorf("driver mismatch: sequential %d findings, parallel %d", len(fs), len(pfs))
+		}
+	}
+	rec := benchRecord{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Packages:     len(mod.Packages),
+		Analyzers:    len(analyzers),
+		Rounds:       rounds,
+		SequentialNs: seqBest.Nanoseconds(),
+		ParallelNs:   parBest.Nanoseconds(),
+		Speedup:      float64(seqBest) / float64(parBest),
+		Findings:     findings,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return err
+	}
+	fmt.Printf("otem-lint bench: %d packages, GOMAXPROCS=%d: sequential %v, parallel %v (%.2fx) -> %s\n",
+		rec.Packages, rec.GOMAXPROCS, seqBest, parBest, rec.Speedup, path)
+	return nil
 }
 
 func anySelected(enabled map[string]*bool) bool {

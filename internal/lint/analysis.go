@@ -8,10 +8,9 @@ import (
 )
 
 // Analyzer describes one static check. The shape deliberately mirrors
-// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run(*Pass)) so the
-// analyzers can migrate to the real framework wholesale if the dependency
-// ever becomes available; the subset implemented here is what an offline,
-// stdlib-only driver can support (no facts, no analyzer DAG).
+// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run(*Pass),
+// FactTypes) so the analyzers can migrate to the real framework wholesale
+// if the dependency ever becomes available.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and in //lint:ignore
 	// directives. It must look like a Go identifier.
@@ -22,6 +21,11 @@ type Analyzer struct {
 	// Run applies the analyzer to one package and reports findings via
 	// pass.Report / pass.Reportf.
 	Run func(*Pass) error
+	// FactTypes lists the fact types this analyzer exports and imports
+	// (pointers to zero values). Declaring them lets the drivers register
+	// the types for vetx serialization and route stored facts back to the
+	// analyzer when dependent packages are analyzed.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -40,11 +44,53 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one finding.
 	Report func(Diagnostic)
+
+	// facts is the driver-wide fact store; nil in a Pass built without a
+	// driver (all fact operations become no-ops / misses).
+	facts *factStore
 }
 
 // Reportf reports a finding at pos with a Sprintf-formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact records a fact about obj, visible to this analyzer when
+// any dependent package is analyzed later in the same run (or, on the
+// `go vet -vettool` path, in a later compilation unit via vetx files).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	p.facts.set(factKey{analyzer: p.Analyzer.Name, pkg: obj.Pkg().Path(), obj: objectKey(obj)}, fact)
+}
+
+// ImportObjectFact copies the fact this analyzer previously exported about
+// obj into fact (a pointer of the matching concrete type) and reports
+// whether one was found. obj may belong to any package — typically a
+// dependency resolved through export data.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.facts.get(factKey{analyzer: p.Analyzer.Name, pkg: obj.Pkg().Path(), obj: objectKey(obj)}, fact)
+}
+
+// ExportPackageFact records a fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil || p.Pkg == nil {
+		return
+	}
+	p.facts.set(factKey{analyzer: p.Analyzer.Name, pkg: p.Pkg.Path()}, fact)
+}
+
+// ImportPackageFact copies the fact this analyzer exported about pkg into
+// fact and reports whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	return p.facts.get(factKey{analyzer: p.Analyzer.Name, pkg: pkg.Path()}, fact)
 }
 
 // Diagnostic is one finding, mirroring analysis.Diagnostic.

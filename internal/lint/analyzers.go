@@ -4,11 +4,14 @@ package lint
 // freshly allocated; callers may filter it.
 func All() []*Analyzer {
 	return []*Analyzer{
+		DetFlow,
 		DetRand,
+		ErrFlow,
 		ErrWrapCheck,
 		FloatCompare,
 		NakedGoroutine,
 		NoPanic,
+		UnitMix,
 	}
 }
 

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NondetFact marks a function as (transitively) nondeterministic: its body
+// reaches the global math/rand source or time.Now through some chain of
+// static calls. The fact is exported on the function object, so dependent
+// packages learn about nondeterminism buried arbitrarily deep in their
+// dependencies without re-analyzing them.
+type NondetFact struct {
+	// Reason is the human-readable call chain, e.g.
+	// "calls helpers.Jitter (which calls time.Now)".
+	Reason string
+}
+
+// AFact marks NondetFact as a Fact.
+func (*NondetFact) AFact() {}
+
+func (f *NondetFact) String() string { return f.Reason }
+
+// DetFlow extends detrand across package boundaries.
+//
+// detrand is intraprocedural: it flags a time.Now literally written inside
+// internal/sim. But determinism is a whole-program property — a sim
+// function calling a helper in another package that calls time.Now is just
+// as unreplayable, and invisible to a per-package AST walk. DetFlow builds
+// the call-graph closure with facts: every package analyzed exports a
+// NondetFact for each function that reaches the global math/rand source or
+// time.Now (directly, through same-package calls, or through calls to
+// functions already marked by the fact in dependencies), and the
+// deterministic packages (internal/sim, internal/mpc, internal/policy)
+// report any call to a marked function.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: `forbid transitive nondeterminism in the deterministic packages
+
+A function in internal/sim, internal/mpc or internal/policy must not call
+— at any depth, across packages — a function that reaches the global
+math/rand source or time.Now. detrand catches the direct uses; detflow
+propagates "reaches nondeterminism" facts along the package DAG and flags
+the call sites that import it. Thread a seeded *rand.Rand (or simulated
+time) down the call chain instead.`,
+	Run:       runDetFlow,
+	FactTypes: []Fact{(*NondetFact)(nil)},
+}
+
+func runDetFlow(pass *Pass) error {
+	// Pass 1: for every function declared in this package, find direct
+	// nondeterminism and record static calls to other functions.
+	type funcInfo struct {
+		reason string        // non-empty once known nondeterministic
+		calls  []*types.Func // same-package callees, pending propagation
+	}
+	infos := make(map[*types.Func]*funcInfo)
+	var order []*types.Func
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{}
+			infos[obj] = fi
+			order = append(order, obj)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				if fi.reason == "" {
+					if r := directNondetReason(callee); r != "" {
+						fi.reason = r
+						return true
+					}
+				}
+				if callee.Pkg() == pass.Pkg {
+					fi.calls = append(fi.calls, callee)
+				} else {
+					// Cross-package callee: consult the fact exported
+					// when the dependency was analyzed.
+					var fact NondetFact
+					if fi.reason == "" && pass.ImportObjectFact(callee, &fact) {
+						fi.reason = fmt.Sprintf("calls %s.%s (which %s)", callee.Pkg().Path(), callee.Name(), fact.Reason)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: propagate nondeterminism through same-package calls to a
+	// fixpoint (the call graph may have cycles; iteration count is bounded
+	// by the number of functions).
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			fi := infos[obj]
+			if fi.reason != "" {
+				continue
+			}
+			for _, callee := range fi.calls {
+				if cfi, ok := infos[callee]; ok && cfi.reason != "" {
+					fi.reason = fmt.Sprintf("calls %s (which %s)", callee.Name(), cfi.reason)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: export facts so dependents see through this package, and —
+	// inside the deterministic scope — report every call whose callee is
+	// known nondeterministic. Direct uses of the banned functions are
+	// detrand's findings, not repeated here.
+	for _, obj := range order {
+		if fi := infos[obj]; fi.reason != "" {
+			pass.ExportObjectFact(obj, &NondetFact{Reason: fi.reason})
+		}
+	}
+	if !inDetrandScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass.TypesInfo, call)
+			if callee == nil || directNondetReason(callee) != "" {
+				return true
+			}
+			var reason string
+			if fi, ok := infos[callee]; ok {
+				reason = fi.reason
+			} else if callee.Pkg() != pass.Pkg {
+				var fact NondetFact
+				if pass.ImportObjectFact(callee, &fact) {
+					reason = fact.Reason
+				}
+			}
+			if reason != "" {
+				pass.Reportf(call.Pos(), "call to nondeterministic %s in deterministic package %s: %s %s; thread a seeded *rand.Rand or simulated time instead", callee.Name(), pass.Pkg.Path(), callee.Name(), reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// staticCallee resolves a call expression to the *types.Func it invokes
+// statically (plain call or method call on a concrete receiver), or nil
+// for builtins, conversions, function values and interface dispatch.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// directNondetReason reports why calling fn is nondeterministic by itself:
+// it is one of the banned package-level math/rand functions or time.Now.
+func directNondetReason(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "" // methods on *rand.Rand are the sanctioned replacement
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			return fmt.Sprintf("calls %s.%s", fn.Pkg().Path(), fn.Name())
+		}
+	case "time":
+		if fn.Name() == "Now" {
+			return "calls time.Now"
+		}
+	}
+	return ""
+}

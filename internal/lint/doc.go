@@ -2,12 +2,14 @@
 // gates the whole simulator.
 //
 // It mirrors the golang.org/x/tools/go/analysis contract — Analyzer,
-// Pass, Diagnostic, per-package Run — on top of the standard library
-// alone, because this module builds offline with zero third-party
-// dependencies. The driver loads packages with `go list -export -deps
-// -json`, type-checks the targets from source against compiled export
-// data (the same scheme `go vet` uses), runs every analyzer, and filters
-// findings through //lint:ignore / //lint:file-ignore directives.
+// Pass, Diagnostic, per-package Run, object/package Facts — on top of
+// the standard library alone, because this module builds offline with
+// zero third-party dependencies. The driver loads packages with `go list
+// -export -deps -json`, type-checks the targets from source against
+// compiled export data (the same scheme `go vet` uses), runs every
+// analyzer over the package-import DAG, and filters findings through
+// //lint:ignore / //lint:file-ignore directives (whose analyzer names
+// are themselves validated against the registered suite).
 //
 // The suite encodes the invariants this reproduction lives or dies by:
 //
@@ -25,9 +27,35 @@
 //   - detrand: no global math/rand or time.Now inside internal/sim,
 //     internal/mpc, internal/policy — replay determinism is a tested
 //     property.
+//   - detflow: the same determinism contract, transitively — a helper
+//     anywhere in the module that reaches global rand or time.Now (at
+//     any call depth) must not be called from the deterministic scope.
+//   - errflow: errors returned by this module's own APIs must not be
+//     discarded as bare call / defer / go statements; functions proven
+//     to always return nil are exempt.
+//   - unitmix: additive arithmetic and comparisons must not mix
+//     identifiers whose names carry conflicting unit suffixes (tempK +
+//     limitC, powerW > energyJ); convert through internal/units first.
 //
-// Entry points: Load + (*Module).Run for the standalone cmd/otem-lint
-// multichecker (`make lint`), UnitMain for `go vet
-// -vettool=$(otem-lint)`, and RunFixture for analysistest-style fixture
-// tests under testdata/src.
+// The last three are cross-package dataflow analyses built on Facts:
+// serializable claims attached to objects or packages (NondetFact,
+// NilErrorFact, UnitFact) that an analyzer exports while analyzing a
+// dependency and imports while analyzing a dependent. In the standalone
+// driver the facts live in an in-memory store keyed by (analyzer,
+// package path, object); under `go vet -vettool` they are gob-encoded
+// into .vetx files and flow between compilation units through the go
+// command's build cache, exactly like vet's own unitchecker facts.
+//
+// Because facts make package order matter, the parallel driver
+// (Module.RunParallel) schedules packages in topological waves over the
+// import DAG on the bounded worker pool from repro/internal/runner —
+// ctx-cancellable and panic-isolated — and sorts findings into a total
+// order so its output is byte-identical to the sequential reference
+// driver (Module.Run).
+//
+// Entry points: Load / LoadContext + (*Module).Run or RunParallel for
+// the standalone cmd/otem-lint multichecker (`make lint`), RunUnit for
+// `go vet -vettool=$(otem-lint)`, ToSARIF / WriteSARIF / WriteJSON /
+// WriteText for rendering, and RunFixture for analysistest-style
+// fixture tests under testdata/src.
 package lint

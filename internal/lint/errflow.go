@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NilErrorFact marks a function whose error result is provably always nil:
+// every return statement supplies a literal nil (or the result of another
+// always-nil function) in the error position. Call sites in dependent
+// packages may then discard the error without a finding — the fact carries
+// the proof across the package boundary.
+type NilErrorFact struct{}
+
+// AFact marks NilErrorFact as a Fact.
+func (*NilErrorFact) AFact() {}
+
+func (*NilErrorFact) String() string { return "always returns a nil error" }
+
+// ErrFlow is the errcheck of this module: an error returned by an
+// otem/internal API and dropped on the floor is a silent failure — exactly
+// the class of bug the facade's sentinel errors and the runner's
+// first-error propagation exist to prevent.
+//
+// A call whose result set includes an error may not appear as a bare
+// expression statement (or a bare defer/go call): the error must be
+// assigned and handled, or explicitly discarded with `_ =` where that is a
+// reviewed decision. Calls to functions carrying a NilErrorFact are
+// exempt, so plumbing helpers that structurally cannot fail do not force
+// busywork at every call site.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: `forbid discarding errors returned by module APIs
+
+A bare call statement f(x) whose callee returns an error silently drops
+failures the caller was meant to see (otem sentinel errors, solver
+failures, I/O). Assign and handle the error, discard it explicitly with
+"_ =" if the context justifies it, or suppress with //lint:ignore errflow
+<reason>. Functions proven to always return nil errors are exported as
+facts and exempt.`,
+	Run:       runErrFlow,
+	FactTypes: []Fact{(*NilErrorFact)(nil)},
+}
+
+func runErrFlow(pass *Pass) error {
+	// Pass 1: prove always-nil error returns for this package's functions
+	// (fixpoint over same-package tail calls, facts for dependencies).
+	type retInfo struct {
+		errPos    []int // indices of error results
+		returns   []*ast.ReturnStmt
+		alwaysNil bool
+	}
+	infos := make(map[*types.Func]*retInfo)
+	var order []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			ri := &retInfo{}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if implementsError(sig.Results().At(i).Type()) {
+					ri.errPos = append(ri.errPos, i)
+				}
+			}
+			if len(ri.errPos) == 0 {
+				continue
+			}
+			collectReturns(fd.Body, &ri.returns)
+			infos[obj] = ri
+			order = append(order, obj)
+		}
+	}
+
+	// nilReturn reports whether every error-position expression of every
+	// return statement is provably nil given the current fixpoint state.
+	isAlwaysNil := func(fn *types.Func) bool {
+		if ri, ok := infos[fn]; ok {
+			return ri.alwaysNil
+		}
+		var fact NilErrorFact
+		return fn.Pkg() != pass.Pkg && pass.ImportObjectFact(fn, &fact)
+	}
+	nilExprOrNilCall := func(e ast.Expr) bool {
+		if isNilExpr(pass.TypesInfo, e) {
+			return true
+		}
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			if callee := staticCallee(pass.TypesInfo, call); callee != nil {
+				return isAlwaysNil(callee)
+			}
+		}
+		return false
+	}
+	provablyNil := func(ri *retInfo) bool {
+		if len(ri.returns) == 0 {
+			return false // e.g. ends in panic or infinite loop: stay conservative
+		}
+		for _, r := range ri.returns {
+			if len(r.Results) == 0 {
+				return false // naked return through named results
+			}
+			if len(r.Results) == 1 && len(ri.errPos) >= 1 && ri.errPos[0] != 0 {
+				// return f() forwarding a tuple: the single expression
+				// stands for all results; require an always-nil callee.
+				if !nilExprOrNilCall(r.Results[0]) {
+					return false
+				}
+				continue
+			}
+			for _, i := range ri.errPos {
+				if i >= len(r.Results) || !nilExprOrNilCall(r.Results[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			ri := infos[fn]
+			if !ri.alwaysNil && provablyNil(ri) {
+				ri.alwaysNil = true
+				changed = true
+			}
+		}
+	}
+	for _, fn := range order {
+		if infos[fn].alwaysNil {
+			pass.ExportObjectFact(fn, &NilErrorFact{})
+		}
+	}
+
+	// Pass 2: flag bare call statements discarding a module-API error.
+	report := func(call *ast.CallExpr, how string) {
+		callee := staticCallee(pass.TypesInfo, call)
+		if callee == nil || !moduleAPI(callee.Pkg()) {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok || !returnsError(tv.Type) {
+			return
+		}
+		if isAlwaysNil(callee) {
+			return
+		}
+		pass.Reportf(call.Pos(), "error returned by %s.%s is discarded%s; assign and handle it (or discard explicitly with _ =)", callee.Pkg().Path(), callee.Name(), how)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "")
+				}
+			case *ast.DeferStmt:
+				report(n.Call, " by defer")
+			case *ast.GoStmt:
+				report(n.Call, " by go")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectReturns gathers the return statements of a function body without
+// descending into nested function literals (whose returns belong to the
+// literal, not the declaration).
+func collectReturns(body *ast.BlockStmt, out *[]*ast.ReturnStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			*out = append(*out, n)
+		}
+		return true
+	})
+}
+
+// returnsError reports whether a call-expression type (single value or
+// tuple) includes an error.
+func returnsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if implementsError(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return implementsError(t)
+}
+
+// moduleAPI reports whether pkg is part of this module (the otem facade,
+// the internal packages, the commands) as opposed to the standard library:
+// the errflow contract covers the module's own APIs, where dropped errors
+// are silent simulation failures.
+func moduleAPI(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}

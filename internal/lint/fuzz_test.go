@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzCollectDirectives hammers the //lint: directive parser with
+// arbitrary directive bodies and checks its invariants: it never panics,
+// every rejected directive surfaces as a lintdirective finding, and —
+// the property the suppression audit rests on — no unknown analyzer name
+// ever makes it into the suppression tables.
+func FuzzCollectDirectives(f *testing.F) {
+	seeds := []string{
+		"ignore floatcompare reason text",
+		"file-ignore all whole file is exempt",
+		"ignore floatcompare,detrand two checks one reason",
+		"ignore floatcmp typoed name",
+		"ignore",
+		"ignore floatcompare",
+		"frobnicate floatcompare nope",
+		"",
+		"  ",
+		"ignore all",
+		"file-ignore nopanic \t tabs and   runs of spaces",
+		"ignore floatcompare,,errflow empty element",
+		"ignore ,floatcompare leading comma",
+		"ignore ALL case matters",
+		"ignore floatcompare nbsp reason",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	known := knownCheckNames(nil)
+	f.Fuzz(func(t *testing.T, body string) {
+		// Keep the comment a single line so the fuzz input stays inside
+		// the //lint: comment instead of becoming arbitrary source.
+		body = strings.NewReplacer("\n", " ", "\r", " ").Replace(body)
+		src := fmt.Sprintf("package p\n\n//lint:%s\nfunc F() {}\n", body)
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip() // e.g. the body smuggled in a BOM or control char the scanner rejects
+		}
+		sup, bad := collectDirectives(fset, []*ast.File{file}, known)
+
+		for _, f := range bad {
+			if f.Analyzer != "lintdirective" {
+				t.Errorf("directive finding attributed to %q, want lintdirective: %s", f.Analyzer, f)
+			}
+			if f.Pos.Filename != "fuzz.go" {
+				t.Errorf("directive finding positioned in %q", f.Pos.Filename)
+			}
+		}
+		for _, set := range sup.file {
+			for name := range set {
+				if !known[name] {
+					t.Errorf("unknown name %q registered as file suppression", name)
+				}
+			}
+		}
+		for _, byLine := range sup.line {
+			for _, set := range byLine {
+				for name := range set {
+					if !known[name] {
+						t.Errorf("unknown name %q registered as line suppression", name)
+					}
+				}
+			}
+		}
+		// A directive either registers suppressions or is reported —
+		// well-formed ignores must not vanish silently.
+		fields := strings.Fields(body)
+		if len(fields) >= 3 && (fields[0] == "ignore" || fields[0] == "file-ignore") {
+			allKnown := true
+			for _, n := range strings.Split(fields[1], ",") {
+				if !known[n] {
+					allKnown = false
+				}
+			}
+			if allKnown && len(bad) != 0 {
+				t.Errorf("well-formed directive %q reported: %v", body, bad)
+			}
+			if allKnown && len(sup.file) == 0 && len(sup.line) == 0 {
+				t.Errorf("well-formed directive %q registered no suppression", body)
+			}
+			if !allKnown && len(bad) == 0 {
+				t.Errorf("directive %q with unknown names produced no finding", body)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,9 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/runner"
 )
 
 // Package is one type-checked target package.
@@ -31,6 +35,9 @@ type Package struct {
 	GoFiles []string
 	// Files are the parsed GoFiles, in the same order.
 	Files []*ast.File
+	// Imports are the import paths of the other *target* packages this
+	// one depends on (directly), the edges of the analysis DAG.
+	Imports []string
 	// Types and Info are the type-checker outputs.
 	Types *types.Package
 	// Info holds the type-checker's per-expression results.
@@ -50,6 +57,7 @@ type listPkg struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -66,7 +74,22 @@ type listPkg struct {
 // Test files are deliberately excluded: the lint gate covers production
 // code, and table-driven tests legitimately use constructs (exact float
 // literals, ad-hoc goroutines) the analyzers forbid elsewhere.
+//
+// Packages come back topologically sorted: every package appears after
+// all of its in-module dependencies, with lexicographic order breaking
+// ties. That ordering is what lets the sequential driver propagate facts
+// in a single pass and the parallel driver schedule the DAG in waves.
 func Load(dir string, patterns ...string) (*Module, error) {
+	return LoadContext(context.Background(), nil, dir, patterns...)
+}
+
+// LoadContext is Load with cooperative cancellation and bounded
+// parallelism: the per-package parse + type-check jobs — independent of
+// one another because in-module dependencies resolve from compiled export
+// data, not source — run on the given worker pool (nil selects the
+// default GOMAXPROCS-bounded pool). The result is identical to Load's at
+// any worker count.
+func LoadContext(ctx context.Context, pool *runner.Pool, dir string, patterns ...string) (*Module, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -77,6 +100,7 @@ func Load(dir string, patterns ...string) (*Module, error) {
 
 	// Export data for every dependency, used in place of source.
 	exports := make(map[string]string)
+	targetSet := make(map[string]bool)
 	var targets []*listPkg
 	for _, p := range pkgs {
 		if p.Error != nil {
@@ -87,6 +111,7 @@ func Load(dir string, patterns ...string) (*Module, error) {
 		}
 		if !p.DepOnly && !p.Standard {
 			targets = append(targets, p)
+			targetSet[p.ImportPath] = true
 		}
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
@@ -99,14 +124,34 @@ func Load(dir string, patterns ...string) (*Module, error) {
 		}
 		return os.Open(file)
 	})
+	// The gc importer caches internally but is not safe for concurrent
+	// Import calls; one lock shared by every type-check job keeps package
+	// identity unified across the whole module.
+	var importMu sync.Mutex
+	lockedImport := func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		importMu.Lock()
+		defer importMu.Unlock()
+		return gc.Import(path)
+	}
 
-	mod := &Module{Fset: fset}
-	for _, t := range targets {
+	checked, err := runner.Map(ctx, pool, len(targets), func(ctx context.Context, i int) (*Package, error) {
+		t := targets[i]
 		if len(t.CgoFiles) > 0 {
 			return nil, fmt.Errorf("lint: %s uses cgo, which the offline loader does not support", t.ImportPath)
 		}
 		pkg := &Package{Path: t.ImportPath, Name: t.Name, Dir: t.Dir}
+		for _, dep := range t.Imports {
+			if targetSet[dep] {
+				pkg.Imports = append(pkg.Imports, dep)
+			}
+		}
 		for _, name := range t.GoFiles {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			full := filepath.Join(t.Dir, name)
 			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
@@ -116,16 +161,11 @@ func Load(dir string, patterns ...string) (*Module, error) {
 			pkg.Files = append(pkg.Files, f)
 		}
 		if len(pkg.Files) == 0 {
-			continue
+			return nil, nil
 		}
 		cfg := &types.Config{
-			Importer: importerFunc(func(path string) (*types.Package, error) {
-				if path == "unsafe" {
-					return types.Unsafe, nil
-				}
-				return gc.Import(path)
-			}),
-			Sizes: types.SizesFor("gc", runtime.GOARCH),
+			Importer: importerFunc(lockedImport),
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
 		}
 		if t.Module != nil && t.Module.GoVersion != "" {
 			cfg.GoVersion = "go" + t.Module.GoVersion
@@ -143,9 +183,90 @@ func Load(dir string, patterns ...string) (*Module, error) {
 			return nil, fmt.Errorf("lint: typecheck %s: %w", t.ImportPath, err)
 		}
 		pkg.Types = tpkg
-		mod.Packages = append(mod.Packages, pkg)
+		return pkg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mod := &Module{Fset: fset}
+	for _, pkg := range checked {
+		if pkg != nil {
+			mod.Packages = append(mod.Packages, pkg)
+		}
+	}
+	mod.Packages, err = topoSort(mod.Packages)
+	if err != nil {
+		return nil, err
 	}
 	return mod, nil
+}
+
+// topoSort orders packages so that dependencies precede dependents (Kahn's
+// algorithm), breaking ties lexicographically for a deterministic result.
+func topoSort(pkgs []*Package) ([]*Package, error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	indegree := make(map[string]int, len(pkgs))
+	dependents := make(map[string][]string, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		indegree[p.Path] = 0
+	}
+	for _, p := range pkgs {
+		for _, dep := range p.Imports {
+			if _, ok := byPath[dep]; ok {
+				indegree[p.Path]++
+				dependents[dep] = append(dependents[dep], p.Path)
+			}
+		}
+	}
+	var ready []string
+	for path, d := range indegree {
+		if d == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	out := make([]*Package, 0, len(pkgs))
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, byPath[path])
+		var unlocked []string
+		for _, dep := range dependents[path] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				unlocked = append(unlocked, dep)
+			}
+		}
+		sort.Strings(unlocked)
+		ready = mergeSorted(ready, unlocked)
+	}
+	if len(out) != len(pkgs) {
+		return nil, errors.New("lint: import cycle among target packages")
+	}
+	return out, nil
+}
+
+// mergeSorted merges two sorted string slices into one sorted slice.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // goList shells out to `go list -export -deps -json`. The go tool is the

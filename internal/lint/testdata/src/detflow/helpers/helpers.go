@@ -1,0 +1,41 @@
+// Package helpers sits outside the deterministic scope: nothing here is
+// reported, but the analyzer must export NondetFacts describing which of
+// these functions reach nondeterminism, for the sim fixture to consume.
+package helpers
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter reaches time.Now directly.
+func Jitter() float64 {
+	return float64(time.Now().UnixNano() % 7)
+}
+
+// Draw reaches the global math/rand source directly.
+func Draw() float64 {
+	return rand.Float64()
+}
+
+// Wrap reaches nondeterminism only through a same-package call.
+func Wrap() float64 {
+	return Jitter() + 1
+}
+
+// DoubleWrap is two hops away from time.Now.
+func DoubleWrap() float64 {
+	return Wrap() * 2
+}
+
+// Pure is deterministic; calling it anywhere is fine.
+func Pure(x float64) float64 {
+	return x * x
+}
+
+// Seeded uses the sanctioned replacement: methods on a seeded *rand.Rand
+// carry a receiver and are not nondeterministic.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,42 @@
+// Package sim stands in for the deterministic core: its import path ends
+// in internal/sim, so calls that transitively reach nondeterminism must be
+// reported here.
+package sim
+
+import "repro/internal/lint/testdata/src/detflow/helpers"
+
+// Step calls straight into a function that uses time.Now one package away.
+func Step(x float64) float64 {
+	return x + helpers.Jitter() // want `call to nondeterministic Jitter`
+}
+
+// Step2 is caught through two cross-package hops.
+func Step2(x float64) float64 {
+	return x + helpers.Wrap() // want `call to nondeterministic Wrap`
+}
+
+// Step3 is caught through three hops.
+func Step3(x float64) float64 {
+	return x + helpers.DoubleWrap() // want `call to nondeterministic DoubleWrap`
+}
+
+// Roll reaches the global math/rand source through the helper package.
+func Roll() float64 {
+	return helpers.Draw() // want `call to nondeterministic Draw`
+}
+
+// local funnels nondeterminism inside this package; the cross-package call
+// in its body is reported, and callers of local are reported too.
+func local() float64 {
+	return helpers.Jitter() // want `call to nondeterministic Jitter`
+}
+
+// Step4 calls the local funnel.
+func Step4(x float64) float64 {
+	return x + local() // want `call to nondeterministic local`
+}
+
+// Fine is deterministic end to end.
+func Fine(x float64) float64 {
+	return helpers.Pure(x) + helpers.Seeded(42)
+}

@@ -21,6 +21,21 @@ func unsuppressed(a, b float64) bool {
 	return a == b // want `floating-point comparison with ==`
 }
 
+func typoed(a, b float64) bool {
+	/* want `unknown analyzer "floatcmp" in //lint:ignore directive` */ //lint:ignore floatcmp fixture: a typoed name must be reported, not silently ignored
+	return a == b                                                       // want `floating-point comparison with ==`
+}
+
+func typoedList(a, b float64) bool {
+	/* want `unknown analyzer "flotcompare"` */ //lint:ignore floatcompare,flotcompare fixture: one bad name invalidates the directive
+	return a == b                               // want `floating-point comparison with ==`
+}
+
+func multiline(a, b, c float64) bool {
+	return a+c ==
+		b //lint:ignore floatcompare fixture: trailing directive covers the whole multi-line statement
+}
+
 /* want `unknown //lint: directive` */ //lint:frobnicate floatcompare nope
 
 /* want `malformed //lint:ignore directive` */ //lint:ignore floatcompare

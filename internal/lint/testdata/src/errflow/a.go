@@ -1,0 +1,49 @@
+// Package errflow exercises discarded-error detection: bare call
+// statements dropping real errors are reported; calls proven always-nil
+// through facts, explicit discards and handled errors are not.
+package errflow
+
+import (
+	"fmt"
+
+	"repro/internal/lint/testdata/src/errflow/dep"
+)
+
+// localFail is a same-package API that can fail.
+func localFail() error {
+	return fmt.Errorf("local: failed")
+}
+
+// localOK is same-package always-nil.
+func localOK() error {
+	return nil
+}
+
+func discards() {
+	dep.MayFail()       // want `error returned by .*dep.MayFail is discarded`
+	dep.Sometimes(3)    // want `error returned by .*dep.Sometimes is discarded`
+	localFail()         // want `error returned by .*errflow.localFail is discarded`
+	defer dep.MayFail() // want `error returned by .*dep.MayFail is discarded by defer`
+	go dep.MayFail()    // want `error returned by .*dep.MayFail is discarded by go`
+}
+
+func exempt() {
+	// Always-nil callees, proven by facts across the package boundary
+	// (and by the same-package fixpoint for localOK).
+	dep.NeverFails()
+	dep.Chain()
+	dep.Forward()
+	localOK()
+
+	// Explicit discard is a reviewed decision, not a silent drop.
+	_ = dep.MayFail()
+	_, _ = dep.Tuple()
+
+	// Handled.
+	if err := dep.MayFail(); err != nil {
+		_ = err
+	}
+
+	// Out of scope: the contract covers module APIs, not the stdlib.
+	fmt.Println("hello")
+}

@@ -1,0 +1,39 @@
+// Package dep is the API surface the errflow fixture calls into: some
+// functions can really fail, others provably return nil errors and are
+// exported as NilErrorFacts.
+package dep
+
+import "errors"
+
+// MayFail can return a real error.
+func MayFail() error {
+	return errors.New("dep: failed")
+}
+
+// NeverFails structurally cannot fail.
+func NeverFails() error {
+	return nil
+}
+
+// Tuple returns a value and an always-nil error.
+func Tuple() (int, error) {
+	return 42, nil
+}
+
+// Chain is always-nil through a same-package tail call.
+func Chain() error {
+	return NeverFails()
+}
+
+// Forward is always-nil through tuple forwarding.
+func Forward() (int, error) {
+	return Tuple()
+}
+
+// Sometimes fails on odd input, so it is not always-nil.
+func Sometimes(n int) error {
+	if n%2 == 1 {
+		return errors.New("dep: odd")
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package unitmix exercises unit-suffix conflict detection in additive
+// arithmetic and comparisons, including units imported as facts.
+package unitmix
+
+import "repro/internal/lint/testdata/src/unitmix/uts"
+
+func mixes(tempK, limitC, coolerPowerW, energyWh, energyJ, otherK, x float64) float64 {
+	bad := tempK + limitC        // want `unit mismatch in "\+": tempK is in K but limitC is in C \(scale conflict\)`
+	bad += tempK - coolerPowerW  // want `unit mismatch in "-": tempK is in K but coolerPowerW is in W \(dimension conflict\)`
+	bad += energyWh + energyJ    // want `unit mismatch in "\+": energyWh is in Wh but energyJ is in J \(scale conflict\)`
+	bad += uts.CToK(x) - limitC  // want `unit mismatch in "-": uts.CToK\(...\) is in K but limitC is in C \(scale conflict\)`
+	bad += uts.MaxTempK - limitC // want `unit mismatch in "-": uts.MaxTempK is in K but limitC is in C \(scale conflict\)`
+	if tempK > limitC {          // want `unit mismatch in ">": tempK is in K but limitC is in C \(scale conflict\)`
+		bad++
+	}
+	return bad
+}
+
+func clean(tempK, limitC, coolerPowerW, energyWh, otherK, dt, x float64) float64 {
+	ok := tempK + otherK           // same unit
+	ok += coolerPowerW * dt        // multiplicative mixing is legitimate (W·s = J)
+	ok += energyWh / dt            // division too
+	ok += uts.CToK(limitC) - tempK // converted before mixing
+	ok += uts.KToC(tempK) - limitC // converted the other way
+	ok += uts.PackEnergyWh() + energyWh
+	ok += x + tempK // unsuffixed operand: nothing declared, nothing checked
+	HBC := 2000.0   // trailing uppercase run is an acronym, not a suffix
+	ok += HBC + tempK
+	return ok
+}

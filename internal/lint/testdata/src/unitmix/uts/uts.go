@@ -1,0 +1,20 @@
+// Package uts mimics internal/units for the unitmix fixture: its exported
+// names carry unit suffixes that must reach dependent packages as
+// UnitFacts.
+package uts
+
+// MaxTempK is a temperature limit in kelvin.
+const MaxTempK = 330.0
+
+// BasePowerW is a power floor in watts.
+const BasePowerW = 25.0
+
+// CToK converts Celsius to kelvin; the name suffix declares the unit of
+// the returned value.
+func CToK(c float64) float64 { return c + 273.15 }
+
+// KToC converts kelvin to Celsius.
+func KToC(k float64) float64 { return k - 273.15 }
+
+// PackEnergyWh reports stored energy in watt-hours.
+func PackEnergyWh() float64 { return 5200 }

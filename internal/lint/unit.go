@@ -40,6 +40,14 @@ type UnitConfig struct {
 // compiled all dependencies, so types come from the export data listed in
 // the config rather than from a `go list` walk.
 //
+// Facts flow between compilation units through vetx files: the facts the
+// dependencies exported are decoded from cfg.PackageVetx before analysis,
+// and everything visible afterwards (own exports plus re-exported
+// dependency facts) is gob-encoded to cfg.VetxOutput, where the go
+// command caches it and hands it to dependent units. When cfg.VetxOnly is
+// set the unit is analyzed purely for its facts and diagnostics are
+// discarded.
+//
 // Findings in _test.go files are dropped for parity with the standalone
 // driver (the gate covers production code; vet feeds test units too).
 func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
@@ -55,16 +63,28 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
 		return nil, fmt.Errorf("lint: package has no files: %s", cfg.ImportPath)
 	}
 
-	// The go command caches analysis output keyed on the "vetx" facts
-	// file; this suite is fact-free, so an empty file satisfies the
-	// protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, fmt.Errorf("lint: write vetx output: %w", err)
+	// Standard-library units carry no facts this suite consumes (module
+	// APIs and the deterministic scope are all in-module), so an empty
+	// vetx satisfies the protocol without parsing half the stdlib.
+	if cfg.Standard[cfg.ImportPath] {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return nil, fmt.Errorf("lint: write vetx output: %w", err)
+			}
 		}
-	}
-	if cfg.VetxOnly {
 		return nil, nil
+	}
+
+	registerFactTypes(analyzers)
+	store := newFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			return nil, fmt.Errorf("lint: read facts of %s: %w", path, err)
+		}
+		if err := store.decodeFacts(data); err != nil {
+			return nil, fmt.Errorf("lint: facts of %s: %w", path, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -111,7 +131,21 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
 		return nil, err
 	}
 
-	all := RunForTypes(fset, files, pkg, info, analyzers)
+	all := runForTypes(fset, files, pkg, info, analyzers, store)
+
+	if cfg.VetxOutput != "" {
+		facts, err := store.encodeFacts()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			return nil, fmt.Errorf("lint: write vetx output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
 	var out []Finding
 	for _, f := range all {
 		if strings.HasSuffix(f.Pos.Filename, "_test.go") {
