@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt
+.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -66,3 +66,17 @@ race-grids:
 
 bench:
 	$(GO) test -bench 'Batch' -benchtime 1x ./internal/experiments
+
+# End-to-end smoke of the HTTP subsystem: boots cmd/otem-serve on an
+# ephemeral port, checks /healthz, a real /v1/simulate, the cache-hit
+# header, /metrics, and the graceful SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Load benchmark of the HTTP subsystem: a concurrent client fleet on the
+# bounded worker pool fires real simulations at an in-process server and
+# records throughput and cache hit ratio to BENCH_serve.json (committed
+# so serving regressions are visible in review).
+serve-bench:
+	SERVE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestServeBenchJSON -count=1 ./internal/serve
+	cat BENCH_serve.json

@@ -17,9 +17,11 @@ import (
 	"encoding/json"
 
 	"repro/internal/analysis"
+	"repro/internal/drivecycle"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/units"
+	"repro/otem"
 )
 
 func main() {
@@ -28,7 +30,7 @@ func main() {
 
 	var (
 		method  = flag.String("method", "OTEM", "methodology: "+strings.Join(experiments.MethodNames(), ", "))
-		cycle   = flag.String("cycle", "US06", "drive cycle: US06, UDDS, HWFET, NYCC, LA92, SC03")
+		cycle   = flag.String("cycle", "US06", "drive cycle: "+strings.Join(drivecycle.AllNames(), ", "))
 		repeats = flag.Int("repeats", 5, "number of back-to-back cycle repetitions")
 		ucap    = flag.Float64("ucap", 25000, "ultracapacitor size in farads")
 		trace   = flag.String("trace", "", "optional path for a per-step CSV trace")
@@ -53,7 +55,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		summary := res
 		summary.Trace = nil // traces go to -trace, not the JSON summary
-		if err := enc.Encode(summary); err != nil {
+		if err := enc.Encode(otem.EncodeResult(summary)); err != nil {
 			log.Fatal(err)
 		}
 	}

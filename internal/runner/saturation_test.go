@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests pin the saturation behavior the otem-serve admission path
+// depends on: a pool that is handed more work than workers must stay
+// bounded, cancellation must abandon undispatched work, and panics from
+// many concurrent submitters must stay isolated to their own batch.
+
+// TestSaturatedPoolStaysBounded floods a small pool and watches the
+// high-water mark of concurrently running jobs.
+func TestSaturatedPoolStaysBounded(t *testing.T) {
+	const workers = 3
+	const jobs = 64
+	var running, high, done atomic.Int64
+	pool := New(Workers(workers))
+	err := pool.Run(context.Background(), jobs, func(ctx context.Context, i int) error {
+		n := running.Add(1)
+		for {
+			h := high.Load()
+			if n <= h || high.CompareAndSwap(h, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		running.Add(-1)
+		done.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if done.Load() != jobs {
+		t.Errorf("completed %d of %d jobs", done.Load(), jobs)
+	}
+	if high.Load() > workers {
+		t.Errorf("high-water concurrency %d exceeds the %d-worker bound", high.Load(), workers)
+	}
+}
+
+// TestCancelAbandonsQueuedJobs cancels while the single worker is stuck
+// in job 0: none of the still-queued jobs may start afterwards, and the
+// error must match both ErrCanceled and the context cause.
+func TestCancelAbandonsQueuedJobs(t *testing.T) {
+	const jobs = 32
+	var started atomic.Int64
+	entered := make(chan struct{}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := New(Workers(1))
+	err := func() error {
+		go func() {
+			<-entered
+			cancel()
+		}()
+		return pool.Run(ctx, jobs, func(jctx context.Context, i int) error {
+			started.Add(1)
+			if i == 0 {
+				entered <- struct{}{}
+				<-jctx.Done() // block until the batch is canceled
+				return Canceled(jctx.Err())
+			}
+			return nil
+		})
+	}()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	// Job 0 started; everything still in the queue must have been
+	// abandoned. The single worker may have dequeued at most job 0.
+	if got := started.Load(); got != 1 {
+		t.Errorf("%d jobs started, want 1 (queued jobs must not run after cancel)", got)
+	}
+}
+
+// TestCancelMidQueueReleasesWaiters has jobs blocked on the batch
+// context mid-flight across several workers; cancellation must unblock
+// every started job and Run must return with no goroutine left running.
+func TestCancelMidQueueReleasesWaiters(t *testing.T) {
+	const workers = 4
+	var inFlight atomic.Int64
+	allIn := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-allIn
+		cancel()
+	}()
+	var once sync.Once
+	err := New(Workers(workers)).Run(ctx, 16, func(jctx context.Context, i int) error {
+		if inFlight.Add(1) == workers {
+			once.Do(func() { close(allIn) })
+		}
+		<-jctx.Done()
+		return Canceled(jctx.Err())
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if n := inFlight.Load(); n != workers {
+		t.Errorf("%d jobs were dispatched, want exactly %d (the worker bound)", n, workers)
+	}
+}
+
+// TestPanicIsolationConcurrentSubmitters shares one pool between many
+// concurrent batch submitters — the otem-serve usage pattern — where
+// some batches panic. Each submitter must get its own *PanicError (or
+// success), and no panic may escape to the process.
+func TestPanicIsolationConcurrentSubmitters(t *testing.T) {
+	pool := New(Workers(2))
+	const submitters = 12
+	errs := make([]error, submitters)
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			poisoned := s%3 == 0
+			errs[s] = pool.Run(context.Background(), 4, func(ctx context.Context, i int) error {
+				if poisoned && i == 2 {
+					panic(fmt.Sprintf("submitter %d job %d", s, i))
+				}
+				return nil
+			})
+		}(s)
+	}
+	wg.Wait()
+
+	for s := 0; s < submitters; s++ {
+		if s%3 == 0 {
+			var pe *PanicError
+			if !errors.As(errs[s], &pe) {
+				t.Errorf("submitter %d: err = %v, want a *PanicError", s, errs[s])
+				continue
+			}
+			if pe.Job != 2 {
+				t.Errorf("submitter %d: panic attributed to job %d, want 2", s, pe.Job)
+			}
+			want := fmt.Sprintf("submitter %d job 2", s)
+			if pe.Value != want {
+				t.Errorf("submitter %d: panic value %v, want %q (no cross-batch bleed)", s, pe.Value, want)
+			}
+			if len(pe.Stack) == 0 {
+				t.Errorf("submitter %d: no stack captured", s)
+			}
+		} else if errs[s] != nil {
+			t.Errorf("healthy submitter %d: err = %v", s, errs[s])
+		}
+	}
+}
+
+// TestMapUnderSaturationKeepsOrder pins that results stay in job-index
+// order even when jobs finish wildly out of order on a saturated pool.
+func TestMapUnderSaturationKeepsOrder(t *testing.T) {
+	const jobs = 50
+	out, err := Map(context.Background(), New(Workers(3)), jobs, func(ctx context.Context, i int) (int, error) {
+		// Earlier jobs sleep longer, so completion order inverts.
+		time.Sleep(time.Duration(jobs-i) * 50 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

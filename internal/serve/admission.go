@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull is the admission-control rejection; handlers map it to
+// 429 Too Many Requests with a Retry-After hint.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// admission is the two-stage load shedder in front of the simulation
+// work: up to cap(slots) requests execute concurrently, up to maxQueue
+// more wait for a slot, and everything beyond that is rejected
+// immediately so latency stays bounded under overload.
+//
+// Coalesced cache followers never pass through here — they wait on the
+// leader's computation without consuming simulation capacity — so the
+// gate bounds actual simulation work, not client connections.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(maxInflight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire wins an execution slot, waiting in the bounded queue if none is
+// free. It returns errQueueFull when the queue is already at capacity and
+// the context error when the caller gave up while queued. A nil return
+// must be paired with exactly one release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot won by acquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// depth reports the gauges for healthz and /metrics.
+func (a *admission) depth() (inflight, queued int64) {
+	return a.inflight.Load(), a.queued.Load()
+}

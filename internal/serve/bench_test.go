@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/otem"
+)
+
+// benchSpecs is the load mix for the serve benchmark: the three cheap
+// (non-MPC) methodologies over two short cycles — six distinct cache
+// keys, so a load of N requests has N-6 cache-served responses once warm.
+func benchSpecs() []string {
+	var bodies []string
+	for _, method := range []string{"Parallel", "ActiveCooling", "Dual"} {
+		for _, cycle := range []string{"NYCC", "UDDS"} {
+			bodies = append(bodies, fmt.Sprintf(`{"method":%q,"cycle":%q}`, method, cycle))
+		}
+	}
+	return bodies
+}
+
+// BenchmarkSimulateColdKeys measures the uncoalesced handler path: every
+// iteration is a distinct cache key against a stubbed simulator, so the
+// number is pure serving overhead (routing, decode, cache, admission,
+// pool, encode).
+func BenchmarkSimulateColdKeys(b *testing.B) {
+	s := newTestServer(Config{})
+	var calls atomic.Int64
+	stubSim(s, &calls, func(_ context.Context, spec otem.RunSpec) (otem.Result, error) {
+		return fakeResult(spec), nil
+	})
+	h := s.Handler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/simulate",
+			strings.NewReader(fmt.Sprintf(`{"method":"Dual","cycle":"US06","repeats":%d}`, i%100+1)))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkSimulateHotKey measures the cache-hit path.
+func BenchmarkSimulateHotKey(b *testing.B) {
+	s := newTestServer(Config{})
+	var calls atomic.Int64
+	stubSim(s, &calls, func(_ context.Context, spec otem.RunSpec) (otem.Result, error) {
+		return fakeResult(spec), nil
+	})
+	h := s.Handler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/simulate",
+			strings.NewReader(`{"method":"Dual","cycle":"US06"}`))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// TestServeBenchJSON is the `make serve-bench` load harness: real
+// simulations over real HTTP, a concurrent client fleet on the bounded
+// worker pool, throughput and cache hit ratio written to the path in
+// SERVE_BENCH_JSON. Without the environment variable the test is a
+// cheap smoke (few requests, nothing written) so `go test ./...` stays
+// fast while the harness logic is still exercised.
+func TestServeBenchJSON(t *testing.T) {
+	out := os.Getenv("SERVE_BENCH_JSON")
+	requests := 24
+	clients := 4
+	if out != "" {
+		requests = 360
+		clients = 3 * runtime.GOMAXPROCS(0)
+	}
+
+	s := newTestServer(Config{MaxInflight: runtime.GOMAXPROCS(0), MaxQueue: requests})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bodies := benchSpecs()
+	client := ts.Client()
+	fire := func(ctx context.Context, i int) (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/simulate",
+			strings.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var wire otem.ResultJSON
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode: %w", err)
+		}
+		return resp.StatusCode, nil
+	}
+
+	pool := runner.New(runner.Workers(clients))
+	start := time.Now()
+	codes, err := runner.Map(context.Background(), pool, requests, fire)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+
+	c := s.metrics.counters()
+	served := c.CacheHits + c.CacheMisses + c.CacheCoalesced
+	if served != int64(requests) {
+		t.Fatalf("accounting: %d outcomes for %d requests", served, requests)
+	}
+	hitRatio := float64(c.CacheHits+c.CacheCoalesced) / float64(requests)
+	throughput := float64(requests) / elapsed.Seconds()
+
+	if out == "" {
+		t.Logf("smoke: %d requests in %s (%.0f req/s, hit ratio %.2f)", requests, elapsed, throughput, hitRatio)
+		return
+	}
+	report := struct {
+		GOMAXPROCS     int     `json:"gomaxprocs"`
+		Clients        int     `json:"clients"`
+		Requests       int     `json:"requests"`
+		DistinctSpecs  int     `json:"distinct_specs"`
+		DurationNS     int64   `json:"duration_ns"`
+		ThroughputRPS  float64 `json:"throughput_rps"`
+		CacheHits      int64   `json:"cache_hits"`
+		CacheMisses    int64   `json:"cache_misses"`
+		CacheCoalesced int64   `json:"cache_coalesced"`
+		CacheHitRatio  float64 `json:"cache_hit_ratio"`
+		Rejected429    int64   `json:"rejected_429"`
+	}{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Clients:        clients,
+		Requests:       requests,
+		DistinctSpecs:  len(bodies),
+		DurationNS:     elapsed.Nanoseconds(),
+		ThroughputRPS:  throughput,
+		CacheHits:      c.CacheHits,
+		CacheMisses:    c.CacheMisses,
+		CacheCoalesced: c.CacheCoalesced,
+		CacheHitRatio:  hitRatio,
+		Rejected429:    c.AdmissionRejected,
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f req/s, hit ratio %.2f", out, throughput, hitRatio)
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/otem"
+)
+
+// cacheOutcome classifies how a request was satisfied; it feeds the
+// metrics counters and the X-Cache response header.
+type cacheOutcome string
+
+const (
+	cacheHit       cacheOutcome = "hit"       // served from the LRU
+	cacheMiss      cacheOutcome = "miss"      // computed by this request
+	cacheCoalesced cacheOutcome = "coalesced" // waited on an identical in-flight request
+)
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	res otem.Result
+}
+
+// flight is one in-progress computation identical requests wait on.
+type flight struct {
+	done chan struct{} // closed when res/err are final
+	res  otem.Result
+	err  error
+}
+
+// resultCache is the deterministic result cache plus singleflight
+// coalescer. Simulations are pure functions of the canonical request key
+// (detflow enforces the absence of hidden nondeterminism), so a cached
+// Result is exactly what a re-run would produce and coalescing identical
+// in-flight requests onto one computation is sound.
+//
+// Cached Results may hold a *Trace shared between responses; everything
+// downstream treats results as read-only.
+type resultCache struct {
+	mu     sync.Mutex
+	max    int // ≤ 0 disables storage; coalescing still applies
+	lru    *list.List
+	byKey  map[string]*list.Element
+	flight map[string]*flight
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	return &resultCache{
+		max:    maxEntries,
+		lru:    list.New(),
+		byKey:  make(map[string]*list.Element),
+		flight: make(map[string]*flight),
+	}
+}
+
+// do returns the result for key, serving from cache when possible,
+// joining an identical in-flight computation when one exists, and
+// otherwise computing via fn as the leader. Leader errors are propagated
+// to every coalesced waiter and never cached. A waiter whose ctx fires
+// first abandons with the ctx error; the leader's computation continues
+// for the others.
+func (c *resultCache) do(ctx context.Context, key string, fn func() (otem.Result, error)) (otem.Result, cacheOutcome, error) {
+	c.mu.Lock()
+	if e, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(e)
+		res := e.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, cacheHit, nil
+	}
+	if f, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, cacheCoalesced, f.err
+		case <-ctx.Done():
+			return otem.Result{}, cacheCoalesced, fmt.Errorf("serve: abandoned coalesced wait: %w", ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if f.err == nil {
+		c.store(key, f.res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, cacheMiss, f.err
+}
+
+// get reads one stored entry, refreshing its recency (the /v1/batch
+// per-spec fast path, which bypasses the coalescer).
+func (c *resultCache) get(key string) (otem.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[key]
+	if !ok {
+		return otem.Result{}, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).res, true
+}
+
+// put stores one computed entry (the /v1/batch write path).
+func (c *resultCache) put(key string, res otem.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store(key, res)
+}
+
+// store inserts under the LRU bound; the caller holds c.mu.
+func (c *resultCache) store(key string, res otem.Result) {
+	if c.max <= 0 {
+		return
+	}
+	if e, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(e)
+		e.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of stored entries (test hook).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/core/floats"
+	"repro/otem"
+)
+
+// SimulateRequest is the wire form of one simulation request, shared by
+// POST /v1/simulate, the specs of POST /v1/batch and (as query
+// parameters) GET /v1/simulate/stream. The zero values select the
+// experiment-suite defaults: repeats 1, a 25 kF ultracapacitor bank.
+type SimulateRequest struct {
+	// Method is a methodology name ("Parallel", "ActiveCooling", "Dual",
+	// "OTEM"), matched case-insensitively.
+	Method string `json:"method"`
+	// Cycle is a standard drive-cycle name ("US06", "UDDS", …).
+	Cycle string `json:"cycle"`
+	// Repeats plays the cycle back to back.
+	Repeats int `json:"repeats,omitempty"`
+	// UltracapFarad is the ultracapacitor bank size.
+	UltracapFarad float64 `json:"ultracap_farad,omitempty"`
+	// Trace includes the per-step trace in the response (/v1/simulate
+	// only; the stream endpoint always traces).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// BatchRequest is the wire form of POST /v1/batch.
+type BatchRequest struct {
+	// Specs are the runs of the grid, evaluated concurrently.
+	Specs []SimulateRequest `json:"specs"`
+}
+
+// BatchResponse is the wire form of the /v1/batch reply: one entry per
+// spec, in request order.
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+}
+
+// BatchEntry reports one spec's outcome; exactly one of Result and Error
+// is set.
+type BatchEntry struct {
+	Spec   SimulateRequest  `json:"spec"`
+	Result *otem.ResultJSON `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// errorResponse is the JSON error body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// normalize validates the request shape, canonicalizes the methodology
+// case and applies the experiment-suite defaults, returning the RunSpec
+// to execute. Name resolution (unknown cycle/methodology) is left to the
+// simulation itself so its errors carry the sentinel values the error
+// mapper translates to 400.
+func (r SimulateRequest) normalize(maxRepeats int) (otem.RunSpec, error) {
+	if r.Repeats < 0 {
+		return otem.RunSpec{}, fmt.Errorf("%w: repeats %d is negative", errBadRequest, r.Repeats)
+	}
+	if r.Repeats > maxRepeats {
+		return otem.RunSpec{}, fmt.Errorf("%w: repeats %d exceeds the limit %d", errBadRequest, r.Repeats, maxRepeats)
+	}
+	if r.UltracapFarad < 0 {
+		return otem.RunSpec{}, fmt.Errorf("%w: ultracap_farad %g is negative", errBadRequest, r.UltracapFarad)
+	}
+	spec := otem.RunSpec{
+		Method:    resolveMethod(r.Method),
+		Cycle:     r.Cycle,
+		Repeats:   r.Repeats,
+		UltracapF: r.UltracapFarad,
+		Trace:     r.Trace,
+	}
+	if spec.Repeats < 1 {
+		spec.Repeats = 1
+	}
+	if floats.Zero(spec.UltracapF) {
+		spec.UltracapF = 25000
+	}
+	return spec, nil
+}
+
+// resolveMethod maps a case-insensitive methodology spelling onto the
+// canonical presentation name. Unknown spellings pass through verbatim so
+// the run fails with otem.ErrUnknownBaseline and an exact echo of the
+// input.
+func resolveMethod(name string) otem.Methodology {
+	for _, m := range otem.Methodologies() {
+		if strings.EqualFold(name, string(m)) {
+			return m
+		}
+	}
+	return otem.Methodology(name)
+}
+
+// cacheKey is the canonical encoding of a normalized RunSpec. Two
+// requests get the same key exactly when they describe the same
+// deterministic simulation, so the key is safe to cache and coalesce on.
+func cacheKey(spec otem.RunSpec) string {
+	return "v1|m=" + string(spec.Method) +
+		"|c=" + spec.Cycle +
+		"|r=" + strconv.Itoa(spec.Repeats) +
+		"|u=" + strconv.FormatFloat(spec.UltracapF, 'g', -1, 64) +
+		"|t=" + strconv.FormatBool(spec.Trace)
+}
+
+// fromQuery builds a SimulateRequest from stream-endpoint query
+// parameters: method, cycle, repeats, ultracap_farad.
+func fromQuery(q url.Values) (SimulateRequest, error) {
+	req := SimulateRequest{
+		Method: q.Get("method"),
+		Cycle:  q.Get("cycle"),
+		Trace:  true,
+	}
+	if s := q.Get("repeats"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return SimulateRequest{}, fmt.Errorf("%w: repeats %q is not an integer", errBadRequest, s)
+		}
+		req.Repeats = n
+	}
+	if s := q.Get("ultracap_farad"); s != "" {
+		u, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return SimulateRequest{}, fmt.Errorf("%w: ultracap_farad %q is not a number", errBadRequest, s)
+		}
+		req.UltracapFarad = u
+	}
+	return req, nil
+}

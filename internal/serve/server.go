@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/runner"
+	"repro/otem"
+)
+
+// errBadRequest marks request-shape validation failures; the error mapper
+// translates it (and the facade's unknown-name sentinels) to 400.
+var errBadRequest = errors.New("serve: bad request")
+
+// Config tunes a Server. The zero value selects production defaults.
+type Config struct {
+	// MaxInflight bounds concurrently executing simulation requests
+	// (default GOMAXPROCS). Coalesced duplicates of an in-flight request
+	// do not consume a slot.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a slot (default 4×MaxInflight);
+	// beyond it the server sheds load with 429.
+	MaxQueue int
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// CacheSize bounds the result LRU (default 256 entries; negative
+	// disables caching — identical in-flight requests still coalesce).
+	CacheSize int
+	// RequestTimeout bounds one request's simulation work (default 60s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful shutdown drain (default 15s).
+	DrainTimeout time.Duration
+	// BatchParallelism bounds the worker-pool fan-out inside one /v1/batch
+	// request (default GOMAXPROCS).
+	BatchParallelism int
+	// MaxBatchSpecs bounds the grid size of one /v1/batch request
+	// (default 64).
+	MaxBatchSpecs int
+	// MaxRepeats bounds the cycle repetitions of one spec (default 100):
+	// repeats scale simulation time linearly, so this is the knob that
+	// keeps a single request from monopolizing a slot.
+	MaxRepeats int
+	// Log receives serving events and isolated panics; nil selects the
+	// process-default logger.
+	Log *log.Logger
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxInflight < 1 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 1 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.BatchParallelism < 1 {
+		c.BatchParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatchSpecs < 1 {
+		c.MaxBatchSpecs = 64
+	}
+	if c.MaxRepeats < 1 {
+		c.MaxRepeats = 100
+	}
+	return c
+}
+
+// Server is the simulation-as-a-service HTTP subsystem. Build with New,
+// mount via Handler (tests) or drive the full lifecycle with Run.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *resultCache
+	gate    *admission
+	mux     *http.ServeMux
+	// pool executes one admitted request's simulation with the runner's
+	// panic isolation; global concurrency is bounded by gate, not here.
+	pool *runner.Pool
+
+	// runSim executes one normalized spec; tests substitute stubs to make
+	// latency and failure modes deterministic.
+	runSim func(ctx context.Context, spec otem.RunSpec) (otem.Result, error)
+	// runBatch executes one admitted batch grid; tests substitute stubs.
+	runBatch func(ctx context.Context, specs []otem.RunSpec, opts ...otem.BatchOption) ([]otem.BatchResult, error)
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		cache:    newResultCache(cfg.CacheSize),
+		gate:     newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		pool:     runner.New(runner.Workers(1)),
+		runSim:   otem.RunContext,
+		runBatch: otem.RunBatch,
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("GET /v1/simulate/stream", s.instrument("stream", s.handleStream))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the routed HTTP handler (the unit tests mount it on
+// httptest servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// statusFor maps an error chain onto the HTTP status code, from most to
+// least specific: request-shape and unknown-name errors are the client's
+// fault (400), a full admission queue is load shedding (429), a deadline
+// is a timeout (504) and a canceled run means the client went away (503
+// — mostly unobservable, but it keeps the metrics honest).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errBadRequest),
+		errors.Is(err, otem.ErrUnknownCycle),
+		errors.Is(err, otem.ErrUnknownBaseline):
+		return http.StatusBadRequest
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, otem.ErrCanceled), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError renders the JSON error body for err, with the Retry-After
+// hint on 429s.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := statusFor(err)
+	if code == http.StatusTooManyRequests {
+		s.metrics.admissionRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+	}
+	msg := err.Error()
+	var pe *runner.PanicError
+	if errors.As(err, &pe) {
+		// Never leak a panic value or stack to the client.
+		msg = "internal error: simulation panicked"
+	}
+	writeJSON(w, code, errorResponse{Error: msg, Code: code})
+}
+
+// requestCtx bounds one request's simulation work by the client's
+// connection context and the configured timeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// runOne executes one admitted spec on the worker pool, so a panicking
+// simulation surfaces as a *runner.PanicError instead of tearing the
+// process down.
+func (s *Server) runOne(ctx context.Context, spec otem.RunSpec) (otem.Result, error) {
+	out, err := runner.Map(ctx, s.pool, 1, func(ctx context.Context, _ int) (otem.Result, error) {
+		return s.runSim(ctx, spec)
+	})
+	if err != nil {
+		return otem.Result{}, err
+	}
+	return out[0], nil
+}
+
+// admitAndRun is the leader path of a cache miss: win an admission slot
+// (or be shed), then simulate.
+func (s *Server) admitAndRun(ctx context.Context, spec otem.RunSpec) (otem.Result, error) {
+	if err := s.gate.acquire(ctx); err != nil {
+		return otem.Result{}, err
+	}
+	defer s.gate.release()
+	return s.runOne(ctx, spec)
+}
+
+// resolve satisfies one simulation request through the cache, the
+// coalescer and the admission gate, recording the cache outcome.
+func (s *Server) resolve(ctx context.Context, spec otem.RunSpec) (otem.Result, cacheOutcome, error) {
+	res, outcome, err := s.cache.do(ctx, cacheKey(spec), func() (otem.Result, error) {
+		return s.admitAndRun(ctx, spec)
+	})
+	switch outcome {
+	case cacheHit:
+		s.metrics.cacheHits.Add(1)
+	case cacheMiss:
+		s.metrics.cacheMisses.Add(1)
+	case cacheCoalesced:
+		s.metrics.cacheCoalesced.Add(1)
+	}
+	return res, outcome, err
+}
+
+// handleSimulate implements POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := req.normalize(s.cfg.MaxRepeats)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, outcome, err := s.resolve(ctx, spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", string(outcome))
+	writeJSON(w, http.StatusOK, otem.EncodeResult(res))
+}
+
+// handleBatch implements POST /v1/batch: the grid runs concurrently on
+// the bounded worker pool under a single admission slot, with per-spec
+// cache reads and writes (coalescing applies only to single-run
+// endpoints; a grid's specs are usually distinct).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.writeError(w, fmt.Errorf("%w: specs is empty", errBadRequest))
+		return
+	}
+	if len(req.Specs) > s.cfg.MaxBatchSpecs {
+		s.writeError(w, fmt.Errorf("%w: %d specs exceed the limit %d", errBadRequest, len(req.Specs), s.cfg.MaxBatchSpecs))
+		return
+	}
+	specs := make([]otem.RunSpec, len(req.Specs))
+	for i, sr := range req.Specs {
+		spec, err := sr.normalize(s.cfg.MaxRepeats)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("spec %d: %w", i, err))
+			return
+		}
+		specs[i] = spec
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	entries := make([]BatchEntry, len(specs))
+	var missSpecs []otem.RunSpec
+	var missIdx []int
+	for i, spec := range specs {
+		entries[i].Spec = req.Specs[i]
+		if res, ok := s.cache.get(cacheKey(spec)); ok {
+			s.metrics.cacheHits.Add(1)
+			wire := otem.EncodeResult(res)
+			entries[i].Result = &wire
+			continue
+		}
+		s.metrics.cacheMisses.Add(1)
+		missSpecs = append(missSpecs, spec)
+		missIdx = append(missIdx, i)
+	}
+
+	if len(missSpecs) > 0 {
+		if err := s.gate.acquire(ctx); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		results, err := s.runBatch(ctx, missSpecs, otem.WithParallelism(s.cfg.BatchParallelism))
+		s.gate.release()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		for j, br := range results {
+			i := missIdx[j]
+			if br.Err != nil {
+				entries[i].Error = br.Err.Error()
+				continue
+			}
+			s.cache.put(cacheKey(missSpecs[j]), br.Result)
+			wire := otem.EncodeResult(br.Result)
+			entries[i].Result = &wire
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: entries})
+}
+
+// handleStream implements GET /v1/simulate/stream: one traced run,
+// streamed as NDJSON — the first line is the ResultJSON summary (without
+// the trace), each following line one TraceStepJSON.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	req, err := fromQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := req.normalize(s.cfg.MaxRepeats)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, outcome, err := s.resolve(ctx, spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache", string(outcome))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// json.Encoder terminates every value with a newline, which is
+	// exactly one NDJSON record per Encode call.
+	wire := otem.EncodeResult(res)
+	steps := wire.Trace
+	wire.Trace = nil
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire); err != nil {
+		return // client went away; nothing sensible left to do
+	}
+	for i := range steps {
+		if err := enc.Encode(steps[i]); err != nil {
+			return
+		}
+		if (i+1)%128 == 0 {
+			flush()
+		}
+	}
+	flush()
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	inflight, queued := s.gate.depth()
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Inflight int64  `json:"inflight"`
+		Queued   int64  `json:"queued"`
+	}{Status: "ok", Inflight: inflight, Queued: queued})
+}
+
+// handleMetrics implements GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	inflight, queued := s.gate.depth()
+	if err := s.metrics.writeProm(w, inflight, queued); err != nil {
+		s.logf("metrics write: %v", err)
+	}
+}
+
+// Run serves on ln until ctx is canceled, then drains gracefully for up
+// to Config.DrainTimeout. It reuses the bounded worker pool as its
+// supervisor: one job serves, the sibling watches the context and
+// triggers shutdown, and both get the runner's panic isolation. Returns
+// nil after a clean drain.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		ErrorLog:          s.cfg.Log,
+		// Requests must survive the SIGTERM cancel so the drain below can
+		// finish them; their lifetime is bounded per-request instead.
+		BaseContext: func(net.Listener) context.Context { return context.Background() },
+	}
+	var drainErr error
+	err := runner.New(runner.Workers(2)).Run(ctx, 2, func(jctx context.Context, i int) error {
+		if i == 0 {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return fmt.Errorf("serve: %w", err)
+			}
+			return nil
+		}
+		<-jctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		drainErr = srv.Shutdown(dctx)
+		return nil
+	})
+	if err != nil && !errors.Is(err, runner.ErrCanceled) {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("serve: drain: %w", drainErr)
+	}
+	return nil
+}

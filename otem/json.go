@@ -1,0 +1,118 @@
+package otem
+
+// This file defines the stable wire schema for simulation results. It is
+// the single JSON encoding of a Result: cmd/otem-sim -json, the otem-serve
+// HTTP API and any future exporter all emit ResultJSON, so the schema
+// cannot drift between surfaces. The field set, the json tags and the
+// Schema version string are covered by a golden-file test; changing any of
+// them is a wire-format break and must bump ResultSchemaVersion.
+
+// ResultSchemaVersion identifies the wire format emitted by EncodeResult.
+// Consumers should check it before decoding: a different value means the
+// field set changed incompatibly.
+const ResultSchemaVersion = "otem.result/v1"
+
+// ResultJSON is the stable JSON encoding of a Result. Unit-bearing fields
+// carry the unit in the name (joules, watts, kelvin, seconds) so the wire
+// format is self-describing; fractions (SoC/SoE) are 0..1.
+type ResultJSON struct {
+	// Schema is always ResultSchemaVersion.
+	Schema string `json:"schema"`
+	// Controller is the methodology name that produced the run.
+	Controller string `json:"controller"`
+	// Steps is the number of simulated steps; DTSeconds their length.
+	Steps     int     `json:"steps"`
+	DTSeconds float64 `json:"dt_seconds"`
+
+	// QlossPct is the battery capacity loss, percent of rated capacity.
+	QlossPct float64 `json:"qloss_pct"`
+	// HEESEnergyJoule is the total HEES consumption including losses.
+	HEESEnergyJoule float64 `json:"hees_energy_joule"`
+	// CoolingEnergyJoule is the cooling subsystem's share.
+	CoolingEnergyJoule float64 `json:"cooling_energy_joule"`
+	// AvgPowerWatt is HEES energy over route duration (Fig. 9 metric).
+	AvgPowerWatt float64 `json:"avg_power_watt"`
+	// MaxBatteryTempKelvin / AvgBatteryTempKelvin summarise T_b.
+	MaxBatteryTempKelvin float64 `json:"max_battery_temp_kelvin"`
+	AvgBatteryTempKelvin float64 `json:"avg_battery_temp_kelvin"`
+	// ThermalViolationSeconds counts time above the C1 safe limit.
+	ThermalViolationSeconds float64 `json:"thermal_violation_seconds"`
+	// FallbackSteps counts infeasible-action steps resolved by the
+	// battery-path fallback.
+	FallbackSteps int `json:"fallback_steps"`
+	// FinalSoC / FinalSoE are the terminal storage states, fractions.
+	FinalSoC float64 `json:"final_soc"`
+	FinalSoE float64 `json:"final_soe"`
+
+	// Trace holds the per-step signals when tracing was enabled, else it
+	// is omitted.
+	Trace []TraceStepJSON `json:"trace,omitempty"`
+}
+
+// TraceStepJSON is one per-step sample of a trace, in the same stable
+// schema (otem-serve streams these as NDJSON lines).
+type TraceStepJSON struct {
+	// TimeSeconds is the step start time.
+	TimeSeconds float64 `json:"time_seconds"`
+	// PowerRequestWatt is the bus power request P_e.
+	PowerRequestWatt float64 `json:"power_request_watt"`
+	// BatteryTempKelvin / CoolantTempKelvin are T_b and T_f.
+	BatteryTempKelvin float64 `json:"battery_temp_kelvin"`
+	CoolantTempKelvin float64 `json:"coolant_temp_kelvin"`
+	// SoC / SoE are the storage states, fractions.
+	SoC float64 `json:"soc"`
+	SoE float64 `json:"soe"`
+	// CoolerPowerWatt is the cooling-system electrical draw.
+	CoolerPowerWatt float64 `json:"cooler_power_watt"`
+	// BatteryPowerWatt / CapPowerWatt are the storage terminal powers.
+	BatteryPowerWatt float64 `json:"battery_power_watt"`
+	CapPowerWatt     float64 `json:"cap_power_watt"`
+	// BatteryHeatWatt is the internal heat generation Q_b.
+	BatteryHeatWatt float64 `json:"battery_heat_watt"`
+}
+
+// EncodeResult converts a Result into the stable wire schema, including
+// the per-step trace when the run recorded one.
+func EncodeResult(r Result) ResultJSON {
+	return ResultJSON{
+		Schema:                  ResultSchemaVersion,
+		Controller:              r.Controller,
+		Steps:                   r.Steps,
+		DTSeconds:               r.DT,
+		QlossPct:                r.QlossPct,
+		HEESEnergyJoule:         r.HEESEnergyJ,
+		CoolingEnergyJoule:      r.CoolingEnergyJ,
+		AvgPowerWatt:            r.AvgPowerW,
+		MaxBatteryTempKelvin:    r.MaxBatteryTemp,
+		AvgBatteryTempKelvin:    r.AvgBatteryTemp,
+		ThermalViolationSeconds: r.ThermalViolationSec,
+		FallbackSteps:           r.FallbackSteps,
+		FinalSoC:                r.FinalSoC,
+		FinalSoE:                r.FinalSoE,
+		Trace:                   EncodeTrace(r.Trace),
+	}
+}
+
+// EncodeTrace converts a trace into per-step wire records, nil in and nil
+// out. The column slices of a Trace always have equal length.
+func EncodeTrace(tr *Trace) []TraceStepJSON {
+	if tr == nil {
+		return nil
+	}
+	steps := make([]TraceStepJSON, len(tr.Time))
+	for i := range tr.Time {
+		steps[i] = TraceStepJSON{
+			TimeSeconds:       tr.Time[i],
+			PowerRequestWatt:  tr.PowerRequest[i],
+			BatteryTempKelvin: tr.BatteryTemp[i],
+			CoolantTempKelvin: tr.CoolantTemp[i],
+			SoC:               tr.SoC[i],
+			SoE:               tr.SoE[i],
+			CoolerPowerWatt:   tr.CoolerPower[i],
+			BatteryPowerWatt:  tr.BatteryPower[i],
+			CapPowerWatt:      tr.CapPower[i],
+			BatteryHeatWatt:   tr.BatteryHeat[i],
+		}
+	}
+	return steps
+}
