@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt serve-smoke serve-bench
+.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt serve-smoke serve-bench sim-bench
 
 build:
 	$(GO) build ./...
@@ -36,9 +36,9 @@ lint-vet:
 	$(GO) vet -vettool=bin/otem-lint ./...
 
 # Sequential reference driver vs parallel DAG scheduler over the whole
-# module; records GOMAXPROCS, best-of-three times and the speedup to
-# BENCH_lint.json (committed so scheduler regressions are visible in
-# review).
+# module; records best-of-three times and the speedup at both GOMAXPROCS=1
+# and GOMAXPROCS=NumCPU to BENCH_lint.json (committed so scheduler
+# regressions are visible in review, and comparable across machines).
 lint-bench:
 	$(GO) run ./cmd/otem-lint -benchjson BENCH_lint.json ./...
 
@@ -75,8 +75,18 @@ serve-smoke:
 
 # Load benchmark of the HTTP subsystem: a concurrent client fleet on the
 # bounded worker pool fires real simulations at an in-process server and
-# records throughput and cache hit ratio to BENCH_serve.json (committed
-# so serving regressions are visible in review).
+# records throughput and cache hit ratio to BENCH_serve.json at both
+# GOMAXPROCS=1 and GOMAXPROCS=NumCPU (committed so serving regressions
+# are visible in review, and comparable across machines).
 serve-bench:
 	SERVE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestServeBenchJSON -count=1 ./internal/serve
 	cat BENCH_serve.json
+
+# Steady-state hot-path benchmark: a full UDDS drive cycle under the OTEM
+# controller, ns/step, steps/sec and allocs/step written to BENCH_sim.json
+# (committed so hot-path regressions are visible in review). The harness
+# also fails if allocs/step exceeds the committed budget — the zero-alloc
+# replan contract enforced end to end.
+sim-bench:
+	SIM_BENCH_JSON=$(CURDIR)/BENCH_sim.json $(GO) test -run TestSimBenchJSON -count=1 -timeout 20m ./internal/core
+	cat BENCH_sim.json

@@ -3,6 +3,10 @@
 //
 //	go test -bench=. -benchmem
 //
+// Every benchmark calls b.ReportAllocs, so allocation counts appear even
+// without -benchmem — regressions on the zero-allocation simulation hot
+// path show up in any benchmark run.
+//
 // Each benchmark regenerates its experiment end to end and reports the
 // paper-comparable headline numbers as custom metrics, so a benchmark run
 // doubles as a reproduction check:
@@ -22,6 +26,7 @@ import (
 // BenchmarkFig1ThermalCaseStudy regenerates the motivational case study:
 // dual-architecture battery temperature for 5/10/20 kF banks on US06 ×3.
 func BenchmarkFig1ThermalCaseStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig1()
 		if err != nil {
@@ -37,6 +42,7 @@ func BenchmarkFig1ThermalCaseStudy(b *testing.B) {
 // BenchmarkFig6TemperatureTraces regenerates the per-methodology battery
 // temperature comparison on US06 ×5, 25 kF.
 func BenchmarkFig6TemperatureTraces(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig6()
 		if err != nil {
@@ -52,6 +58,7 @@ func BenchmarkFig6TemperatureTraces(b *testing.B) {
 // BenchmarkFig7TEBPreparation regenerates the TEB temporal analysis and
 // reports how many pre-charge events precede large power bursts.
 func BenchmarkFig7TEBPreparation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig7()
 		if err != nil {
@@ -65,6 +72,7 @@ func BenchmarkFig7TEBPreparation(b *testing.B) {
 // BenchmarkFig8BatteryLifetime regenerates the capacity-loss comparison
 // across all six standard cycles (paper headline: −16.38 % vs parallel).
 func BenchmarkFig8BatteryLifetime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sweep, err := experiments.Sweep(1)
 		if err != nil {
@@ -79,6 +87,7 @@ func BenchmarkFig8BatteryLifetime(b *testing.B) {
 // across all six standard cycles (paper headline: −12.1 % vs pure active
 // cooling).
 func BenchmarkFig9PowerConsumption(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sweep, err := experiments.Sweep(1)
 		if err != nil {
@@ -92,6 +101,7 @@ func BenchmarkFig9PowerConsumption(b *testing.B) {
 // BenchmarkTableIUltracapSizing regenerates the ultracapacitor size sweep
 // on US06 ×5 (paper Table I).
 func BenchmarkTableIUltracapSizing(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.TableI()
 		if err != nil {
@@ -105,6 +115,7 @@ func BenchmarkTableIUltracapSizing(b *testing.B) {
 
 // BenchmarkAblationHorizon sweeps the MPC control-window size.
 func BenchmarkAblationHorizon(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationHorizon()
 		if err != nil {
@@ -117,6 +128,7 @@ func BenchmarkAblationHorizon(b *testing.B) {
 
 // BenchmarkAblationWeights disables Eq. 19 cost terms in turn.
 func BenchmarkAblationWeights(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationWeights()
 		if err != nil {
@@ -128,6 +140,7 @@ func BenchmarkAblationWeights(b *testing.B) {
 
 // BenchmarkAblationNoise measures sensitivity to forecast error.
 func BenchmarkAblationNoise(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationNoise()
 		if err != nil {
@@ -142,6 +155,7 @@ func BenchmarkAblationNoise(b *testing.B) {
 // BenchmarkAblationPredictor replaces the oracle forecast with realistic
 // predictors and reports the surviving advantage.
 func BenchmarkAblationPredictor(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationPredictor()
 		if err != nil {
@@ -157,6 +171,7 @@ func BenchmarkAblationPredictor(b *testing.B) {
 // network and reports how much hotter the worst module runs than the lumped
 // model predicts.
 func BenchmarkHotspotStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Hotspot()
 		if err != nil {
@@ -174,6 +189,7 @@ func BenchmarkHotspotStudy(b *testing.B) {
 // BenchmarkAblationSensing closes the sensing loop: OTEM planning from the
 // EKF-estimated SoC instead of the oracle.
 func BenchmarkAblationSensing(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationSensing()
 		if err != nil {
@@ -187,6 +203,7 @@ func BenchmarkAblationSensing(b *testing.B) {
 
 // BenchmarkAblationChemistry compares the NCA and LFP packs under OTEM.
 func BenchmarkAblationChemistry(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationChemistry()
 		if err != nil {

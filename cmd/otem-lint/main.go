@@ -162,26 +162,40 @@ var emitters = map[string]func(io.Writer, []lint.Finding, []*lint.Analyzer) erro
 	"sarif": lint.WriteSARIF,
 }
 
-// benchRecord is the JSON document -benchjson writes: wall-clock times of
-// the sequential reference driver and the parallel DAG scheduler over the
-// same loaded module, and their ratio.
+// benchParallelRun is one parallel-driver measurement at a fixed
+// GOMAXPROCS setting: best-of-rounds wall-clock time and the speedup over
+// the sequential reference at the same machine state.
+type benchParallelRun struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchRecord is the JSON document -benchjson writes: the sequential
+// reference driver timed once, then the parallel DAG scheduler at both
+// GOMAXPROCS=1 (scheduler overhead in isolation) and GOMAXPROCS=NumCPU
+// (real speedup). Recording both keeps the methodology honest — a single
+// number taken at an unknown processor count is not comparable across
+// machines.
 type benchRecord struct {
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	Packages     int     `json:"packages"`
-	Analyzers    int     `json:"analyzers"`
-	Rounds       int     `json:"rounds"`
-	SequentialNs int64   `json:"sequential_ns"`
-	ParallelNs   int64   `json:"parallel_ns"`
-	Speedup      float64 `json:"speedup"`
-	Findings     int     `json:"findings"`
+	NumCPU       int                `json:"num_cpu"`
+	Packages     int                `json:"packages"`
+	Analyzers    int                `json:"analyzers"`
+	Rounds       int                `json:"rounds"`
+	SequentialNs int64              `json:"sequential_ns"`
+	Parallel     []benchParallelRun `json:"parallel"`
+	Findings     int                `json:"findings"`
 }
 
 // writeBench times both drivers over the loaded module (best of three
-// rounds each, interleaved) and records the result.
+// rounds each) and records the result. The parallel driver is measured at
+// GOMAXPROCS=1 and GOMAXPROCS=NumCPU; the previous setting is restored
+// before returning.
 func writeBench(path string, mod *lint.Module, pool *runner.Pool, analyzers []*lint.Analyzer) error {
 	const rounds = 3
 	ctx := context.Background()
-	var seqBest, parBest time.Duration
+
+	var seqBest time.Duration
 	var findings int
 	for i := 0; i < rounds; i++ {
 		t0 := time.Now()
@@ -190,27 +204,46 @@ func writeBench(path string, mod *lint.Module, pool *runner.Pool, analyzers []*l
 			seqBest = d
 		}
 		findings = len(fs)
-
-		t0 = time.Now()
-		pfs, err := mod.RunParallel(ctx, pool, analyzers)
-		if err != nil {
-			return err
-		}
-		if d := time.Since(t0); i == 0 || d < parBest {
-			parBest = d
-		}
-		if len(pfs) != len(fs) {
-			return fmt.Errorf("driver mismatch: sequential %d findings, parallel %d", len(fs), len(pfs))
-		}
 	}
+
+	procSettings := []int{1, runtime.NumCPU()}
+	if procSettings[1] == 1 {
+		procSettings = procSettings[:1]
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var parallel []benchParallelRun
+	for _, procs := range procSettings {
+		runtime.GOMAXPROCS(procs)
+		var parBest time.Duration
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			pfs, err := mod.RunParallel(ctx, pool, analyzers)
+			if err != nil {
+				return err
+			}
+			if d := time.Since(t0); i == 0 || d < parBest {
+				parBest = d
+			}
+			if len(pfs) != findings {
+				return fmt.Errorf("driver mismatch: sequential %d findings, parallel %d", findings, len(pfs))
+			}
+		}
+		parallel = append(parallel, benchParallelRun{
+			GOMAXPROCS: procs,
+			ParallelNs: parBest.Nanoseconds(),
+			Speedup:    float64(seqBest) / float64(parBest),
+		})
+	}
+
 	rec := benchRecord{
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Packages:     len(mod.Packages),
 		Analyzers:    len(analyzers),
 		Rounds:       rounds,
 		SequentialNs: seqBest.Nanoseconds(),
-		ParallelNs:   parBest.Nanoseconds(),
-		Speedup:      float64(seqBest) / float64(parBest),
+		Parallel:     parallel,
 		Findings:     findings,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -221,8 +254,11 @@ func writeBench(path string, mod *lint.Module, pool *runner.Pool, analyzers []*l
 	if err := os.WriteFile(path, data, 0o666); err != nil {
 		return err
 	}
-	fmt.Printf("otem-lint bench: %d packages, GOMAXPROCS=%d: sequential %v, parallel %v (%.2fx) -> %s\n",
-		rec.Packages, rec.GOMAXPROCS, seqBest, parBest, rec.Speedup, path)
+	fmt.Printf("otem-lint bench: %d packages, sequential %v", rec.Packages, seqBest)
+	for _, p := range parallel {
+		fmt.Printf("; parallel@%d %v (%.2fx)", p.GOMAXPROCS, time.Duration(p.ParallelNs), p.Speedup)
+	}
+	fmt.Printf(" -> %s\n", path)
 	return nil
 }
 

@@ -39,6 +39,7 @@ func main() {
 		drain    = flag.Duration("drain", 0, "graceful shutdown drain budget (0 = 15s)")
 		repeats  = flag.Int("max-repeats", 0, "max cycle repetitions per spec (0 = 100)")
 		portfile = flag.String("portfile", "", "optional file to write the bound address to once listening")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes process internals; only enable on trusted/loopback listeners)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,11 @@ func main() {
 		DrainTimeout:   *drain,
 		MaxRepeats:     *repeats,
 		Log:            logger,
+		EnablePprof:    *pprofOn,
 	})
+	if *pprofOn {
+		log.Printf("pprof endpoints enabled under /debug/pprof/ — do not expose this listener publicly")
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

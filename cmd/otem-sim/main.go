@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"encoding/json"
@@ -36,8 +38,22 @@ func main() {
 		trace   = flag.String("trace", "", "optional path for a per-step CSV trace")
 		analyze = flag.Bool("analyze", false, "print trace-derived analysis (peak shaving, regen capture, cooler duty)")
 		asJSON  = flag.Bool("json", false, "emit the result summary as JSON instead of text")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("start CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	res, err := experiments.Run(experiments.RunSpec{
 		Method:    experiments.Methodology(*method),
@@ -83,6 +99,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace              %s (%d rows)\n", *trace, res.Steps)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the live set so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("write heap profile: %v", err)
+		}
 	}
 }
 

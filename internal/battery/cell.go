@@ -9,7 +9,7 @@ import (
 
 // OCV returns the open-circuit voltage of a cell at state of charge z
 // (fraction in [0, 1]) per paper Eq. 2. z is clamped to [0, 1].
-func (p CellParams) OCV(z float64) float64 {
+func (p *CellParams) OCV(z float64) float64 {
 	z = units.Clamp(z, 0, 1)
 	z2 := z * z
 	return p.V[0]*math.Exp(p.V[1]*z) + p.V[2]*z2*z2 + p.V[3]*z2*z + p.V[4]*z2 + p.V[5]*z + p.V[6]
@@ -18,7 +18,7 @@ func (p CellParams) OCV(z float64) float64 {
 // Resistance returns the cell internal resistance at state of charge z and
 // temperature T (kelvin) per paper Eq. 3, including the Arrhenius
 // temperature correction: resistance drops as the cell warms.
-func (p CellParams) Resistance(z, T float64) float64 {
+func (p *CellParams) Resistance(z, T float64) float64 {
 	z = units.Clamp(z, 0, 1)
 	r25 := p.R[0]*math.Exp(p.R[1]*z) + p.R[2]
 	if floats.Zero(p.Kr) || T <= 0 {
@@ -31,7 +31,7 @@ func (p CellParams) Resistance(z, T float64) float64 {
 // paper Eq. 4 for cell current i (amperes, discharge positive), state of
 // charge z and temperature T. Both the Joule term I·(Voc−Vterm) = I²R and
 // the entropic term I·T·dVoc/dT are included.
-func (p CellParams) HeatRate(i, z, T float64) float64 {
+func (p *CellParams) HeatRate(i, z, T float64) float64 {
 	r := p.Resistance(z, T)
 	return i*i*r + i*T*p.DVocDT
 }
@@ -41,7 +41,7 @@ func (p CellParams) HeatRate(i, z, T float64) float64 {
 // temperature T (kelvin). The rate is zero at zero current and grows
 // super-linearly with |i| when L[2] > 1, so load peaks age the cell
 // disproportionately.
-func (p CellParams) AgingRate(i, T float64) float64 {
+func (p *CellParams) AgingRate(i, T float64) float64 {
 	ai := math.Abs(i)
 	if floats.Zero(ai) || T <= 0 {
 		return 0
@@ -52,6 +52,6 @@ func (p CellParams) AgingRate(i, T float64) float64 {
 // TerminalVoltage returns the cell terminal voltage under cell current i
 // (discharge positive) at state of charge z and temperature T:
 // V = Voc − i·R. During charge (i < 0) the terminal voltage exceeds Voc.
-func (p CellParams) TerminalVoltage(i, z, T float64) float64 {
+func (p *CellParams) TerminalVoltage(i, z, T float64) float64 {
 	return p.OCV(z) - i*p.Resistance(z, T)
 }

@@ -10,7 +10,7 @@ import (
 // OCVPrime returns dVoc/dz at state of charge z (fraction), the analytic
 // derivative of Eq. 2. State estimators (extended Kalman filters) linearise
 // the measurement model with it.
-func (p CellParams) OCVPrime(z float64) float64 {
+func (p *CellParams) OCVPrime(z float64) float64 {
 	z = units.Clamp(z, 0, 1)
 	z2 := z * z
 	return p.V[0]*p.V[1]*math.Exp(p.V[1]*z) +
@@ -20,7 +20,7 @@ func (p CellParams) OCVPrime(z float64) float64 {
 // ResistancePrime returns dR/dz at state of charge z and temperature T, the
 // analytic derivative of Eq. 3 (including the Arrhenius factor, which does
 // not depend on z).
-func (p CellParams) ResistancePrime(z, T float64) float64 {
+func (p *CellParams) ResistancePrime(z, T float64) float64 {
 	z = units.Clamp(z, 0, 1)
 	d := p.R[0] * p.R[1] * math.Exp(p.R[1]*z)
 	if floats.Zero(p.Kr) || T <= 0 {

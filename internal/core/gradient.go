@@ -41,6 +41,7 @@ type stepTape struct {
 	soeClampHi  bool
 
 	voc, res     float64
+	cellR        float64 // single-cell resistance R(soc0, tb0) behind res/heat
 	battBus      float64
 	etaBatt      float64
 	etaBattP     bool
@@ -105,50 +106,86 @@ func etaAt(peak, min, nom, droop, v float64) (float64, bool) {
 	return eta, true
 }
 
-// objectiveFwd is the single source of truth for the MPC cost. When tape is
-// non-nil it must have length cfg.Horizon and records the intermediates.
+// objectiveFwd is the single source of truth for the MPC cost. It records
+// the step intermediates directly into tape, which must have length
+// cfg.Horizon. Rows are written in full — every conditionally-set field is
+// explicitly reset — so a dirty, reused tape is fine and the hot path never
+// zeroes or copies a stepTape.
 func (o *OTEM) objectiveFwd(z []float64, tape []stepTape) float64 {
 	r := &o.roll
 	cfg := &o.cfg
 	spec := o.planner.Spec()
+	bs, nb, mIn := spec.BlockSize, spec.Blocks(), spec.InputsPerStep
+	cc := r.capConv
+	bc := r.battConv
 
 	soc, soe := r.soc, r.soe
 	tb, tc := r.tb, r.tc
 	dt := r.dt
-	cn := r.cn(dt)
+	cn := r.cnc
+
+	// Hoist every scalar the loop reads into locals: the tape writes go
+	// through a pointer, so without this the compiler must reload each field
+	// from o.roll / o.cfg after every store. Values and operation order are
+	// unchanged.
+	cell := &r.cell
+	dvocdt := r.cell.DVocDT
+	coolerMax, pump, coolEff := r.coolerMax, r.pump, r.coolEff
+	capBusV, capC7, capESR := r.capBusV, r.capC7, r.capESR
+	capEnergy, capMinSoE := r.capEnergy, r.capMinSoE
+	cellOCVScale, packResScale := r.cellOCVScale, r.packResScale
+	packMaxI, parallel, cells := r.packMaxI, r.parallel, r.cells
+	packCapC, battMinSoC, safeTemp := r.packCapC, r.battMinSoC, r.safeTemp
+	battHeatCap, coolHeatCap := r.battHeatCap, r.coolHeatCap
+	hcSum := battHeatCap + coolHeatCap
+	wAmbient := cn.w * r.ambient
+	capPowerScale, stateWeight := cfg.CapPowerScale, cfg.StateWeight
+	safeTempWeight, targetTemp := cfg.SafeTempWeight, cfg.TargetTemp
+	tempPressureWeight, horizonF := cfg.TempPressureWeight, float64(cfg.Horizon)
+	w1, w2, w3 := cfg.W1, cfg.W2, cfg.W3
+	fc := o.fc
 
 	var cost float64
+	// Blocked-input cursor: base walks z one block every bs steps (same
+	// indexing as Spec.InputAt, without the per-step division).
+	base, nextBlockAt, lastBase := 0, bs, (nb-1)*mIn
 	for k := 0; k < cfg.Horizon; k++ {
-		var tp stepTape
+		tp := &tape[k]
 		tp.soc0, tp.soe0, tp.tb0, tp.tc0 = soc, soe, tb, tc
-		tp.capU = spec.InputAt(z, k, 0)
-		tp.coolU = spec.InputAt(z, k, 1)
+		if k == nextBlockAt && base < lastBase {
+			base += mIn
+			nextBlockAt += bs
+		}
+		tp.capU = z[base]
+		tp.coolU = z[base+1]
 
 		// --- Cooling: linear intensity model ---
-		tp.pcool = tp.coolU * (r.coolerMax + r.pump)
-		tp.qx = -tp.coolU * r.coolEff * r.coolerMax
-		load := o.fc[k] + tp.pcool
+		tp.pcool = tp.coolU * (coolerMax + pump)
+		tp.qx = -tp.coolU * coolEff * coolerMax
+		load := fc[k] + tp.pcool
 
 		// --- Ultracapacitor branch ---
-		capBus0 := tp.capU * cfg.CapPowerScale
+		capBus0 := tp.capU * capPowerScale
 		if soe > 1e-6 {
-			tp.vcap = r.capBusV * math.Sqrt(soe)
+			tp.vcap = capBusV * math.Sqrt(soe)
+			tp.vcapClamped = false
 		} else {
-			tp.vcap = r.capBusV * math.Sqrt(1e-6)
+			tp.vcap = capBusV * math.Sqrt(1e-6)
 			tp.vcapClamped = true
 		}
-		tp.capMax = r.capC7
-		if r.capESR > 0 {
-			if sag := 0.97 * tp.vcap * tp.vcap / (4 * r.capESR); sag < tp.capMax {
+		tp.capMax = capC7
+		tp.sagBranch = false
+		if capESR > 0 {
+			if sag := 0.97 * tp.vcap * tp.vcap / (4 * capESR); sag < tp.capMax {
 				tp.capMax = sag
 				tp.sagBranch = true
 			}
 		}
-		cc := r.capConv
 		tp.etaCapBus, tp.etaCapBusP = etaAt(cc.PeakEfficiency, cc.MinEfficiency, cc.NominalVoltage, cc.Droop, tp.vcap)
 		// BusPower for a non-negative storage power (capMax ≥ 0, idle 0).
 		tp.capMaxBus = (tp.capMax - cc.IdleLoss) * tp.etaCapBus
 		tp.capBus = capBus0
+		tp.capClamped = false
 		if tp.capBus > tp.capMaxBus {
 			tp.capBus = tp.capMaxBus
 			tp.capClamped = true
@@ -159,34 +196,39 @@ func (o *OTEM) objectiveFwd(z []float64, tape []stepTape) float64 {
 		} else {
 			tp.capStorage = tp.capBus*tp.etaCapSto + cc.IdleLoss
 		}
-		if r.capESR > 0 {
-			disc := tp.vcap*tp.vcap - 4*r.capESR*tp.capStorage
+		tp.sCap = 0
+		tp.capDiscZero = false
+		tp.capI = 0
+		if capESR > 0 {
+			disc := tp.vcap*tp.vcap - 4*capESR*tp.capStorage
 			if disc < 0 {
 				disc = 0
 				tp.capDiscZero = true
 			}
 			tp.sCap = math.Sqrt(disc)
-			tp.capI = (tp.vcap - tp.sCap) / (2 * r.capESR)
+			tp.capI = (tp.vcap - tp.sCap) / (2 * capESR)
 		} else if tp.vcap > 0 {
 			tp.capI = tp.capStorage / tp.vcap
 		}
-		tp.dEcap = (tp.capStorage + tp.capI*tp.capI*r.capESR) * dt
-		tp.soePre = soe - tp.dEcap/r.capEnergy
+		tp.dEcap = (tp.capStorage + tp.capI*tp.capI*capESR) * dt
+		tp.soePre = soe - tp.dEcap/capEnergy
 		soe = tp.soePre
-		if d := r.capMinSoE - soe; d > 0 {
-			cost += cfg.StateWeight * d * d
+		if d := capMinSoE - soe; d > 0 {
+			cost += stateWeight * d * d
 		}
+		tp.soeClampHi = false
 		if d := soe - 1; d > 0 {
-			cost += cfg.StateWeight * d * d
+			cost += stateWeight * d * d
 			soe = 1
 			tp.soeClampHi = true
 		}
 
 		// --- Battery branch ---
 		tp.battBus = load - tp.capBus
-		tp.voc = r.cellOCVScale * r.cell.OCV(soc)
-		tp.res = r.packResScale * r.cell.Resistance(soc, tb)
-		bc := r.battConv
+		tp.voc = cellOCVScale * cell.OCV(soc)
+		cellR := cell.Resistance(soc, tb)
+		tp.cellR = cellR
+		tp.res = packResScale * cellR
 		tp.etaBatt, tp.etaBattP = etaAt(bc.PeakEfficiency, bc.MinEfficiency, bc.NominalVoltage, bc.Droop, tp.voc)
 		if tp.battBus >= 0 {
 			tp.bsPre = tp.battBus/tp.etaBatt + bc.IdleLoss
@@ -195,6 +237,7 @@ func (o *OTEM) objectiveFwd(z []float64, tape []stepTape) float64 {
 		}
 		tp.pmax = tp.voc * tp.voc / (4 * tp.res) * 0.98
 		tp.battStorage = tp.bsPre
+		tp.bsClamped = false
 		if tp.bsPre > tp.pmax {
 			d := (tp.bsPre - tp.pmax) / 1e3
 			cost += 1e6 * d * d
@@ -202,51 +245,52 @@ func (o *OTEM) objectiveFwd(z []float64, tape []stepTape) float64 {
 			tp.bsClamped = true
 		}
 		disc := tp.voc*tp.voc - 4*tp.res*tp.battStorage
+		tp.battDiscZero = false
 		if disc < 0 {
 			disc = 0
 			tp.battDiscZero = true
 		}
 		tp.sBatt = math.Sqrt(disc)
 		tp.i = (tp.voc - tp.sBatt) / (2 * tp.res)
-		tp.overC6 = tp.i - r.packMaxI
+		tp.overC6 = tp.i - packMaxI
 		if tp.overC6 > 0 {
 			cost += 1e3 * tp.overC6 * tp.overC6
 		} else {
 			tp.overC6 = 0
 		}
-		tp.cellI = tp.i / r.parallel
-		tp.heat = r.cell.HeatRate(tp.cellI, soc, tb) * r.cells
-		tp.aging = r.cell.AgingRate(math.Abs(tp.cellI), tb) * dt
+		tp.cellI = tp.i / parallel
+		// Inlined HeatRate: i²·R + i·T·dVoc/dT, reusing cellR (the same
+		// R(soc, tb) the method would recompute).
+		tp.heat = (tp.cellI*tp.cellI*cellR + tp.cellI*tb*dvocdt) * cells
+		tp.aging = cell.AgingRate(math.Abs(tp.cellI), tb) * dt
 		dEbat := tp.voc * tp.i * dt
-		tp.socPre = soc - tp.i*dt/r.packCapC
+		tp.socPre = soc - tp.i*dt/packCapC
 		soc = tp.socPre
-		if d := r.battMinSoC - soc; d > 0 {
-			cost += cfg.StateWeight * d * d
+		if d := battMinSoC - soc; d > 0 {
+			cost += stateWeight * d * d
 		}
+		tp.socClampHi = false
 		if d := soc - 1; d > 0 {
-			cost += cfg.StateWeight * d * d
+			cost += stateWeight * d * d
 			soc = 1
 			tp.socClampHi = true
 		}
 
 		// --- Thermal network (closed-form CN, identical to CNStep2) ---
 		r0 := cn.r0tb*tb + cn.r0tc*tc + tp.heat
-		r1 := cn.r1tb*tb + cn.r1tc*tc + cn.w*r.ambient + tp.qx
+		r1 := cn.r1tb*tb + cn.r1tc*tc + wAmbient + tp.qx
 		tb = cn.i00*r0 + cn.i01*r1
 		tc = cn.i10*r0 + cn.i11*r1
 		tp.tb1, tp.tc1 = tb, tc
-		if d := tb - r.safeTemp; d > 0 {
-			cost += cfg.SafeTempWeight * d * d
+		if d := tb - safeTemp; d > 0 {
+			cost += safeTempWeight * d * d
 		}
-		tw := (r.battHeatCap*tb + r.coolHeatCap*tc) / (r.battHeatCap + r.coolHeatCap)
-		if d := tw - cfg.TargetTemp; d > 0 {
-			cost += cfg.TempPressureWeight / float64(cfg.Horizon) * d * d
+		tw := (battHeatCap*tb + coolHeatCap*tc) / hcSum
+		if d := tw - targetTemp; d > 0 {
+			cost += tempPressureWeight / horizonF * d * d
 		}
 
-		cost += cfg.W1*tp.pcool*dt + cfg.W2*tp.aging + cfg.W3*(dEbat+tp.dEcap)
-		if tape != nil {
-			tape[k] = tp
-		}
+		cost += w1*tp.pcool*dt + w2*tp.aging + w3*(dEbat+tp.dEcap)
 	}
 
 	if d := cfg.TEBTargetSoE - soe; d > 0 {
@@ -261,14 +305,25 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 	r := &o.roll
 	cfg := &o.cfg
 	spec := o.planner.Spec()
+	bs, nb, mIn := spec.BlockSize, spec.Blocks(), spec.InputsPerStep
 	dt := r.dt
-	cn := r.cn(dt)
+	cn := r.cnc
 
 	if cap(o.tape) < cfg.Horizon {
 		o.tape = make([]stepTape, cfg.Horizon)
 	}
 	tape := o.tape[:cfg.Horizon]
-	cost := o.objectiveFwd(z, tape)
+	// The solver always evaluates the objective at a point right before
+	// requesting its gradient there (line-search accept, or the initial
+	// f(x0)), so the tape usually already holds this z and the forward pass
+	// can be skipped — same rows, same cost, bit-identical.
+	var cost float64
+	if o.tapeMatches(z) {
+		cost = o.tapeCost
+	} else {
+		cost = o.objectiveFwd(z, tape)
+		o.noteTape(z, cost)
+	}
 
 	for gi := range grad {
 		grad[gi] = 0
@@ -337,10 +392,13 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 			acellI += cfg.W2 * dRdI * sign
 			atb0 += cfg.W2 * tp.aging * r.cell.L[1] / (units.GasConstant * tp.tb0 * tp.tb0)
 		}
-		// heat = cells·(cellI²·R(soc,tb) + cellI·tb·dVocdT)
-		cellR := r.cell.Resistance(tp.soc0, tp.tb0)
+		// heat = cells·(cellI²·R(soc,tb) + cellI·tb·dVocdT). cellR and the
+		// shared R'(soc,tb) come off the tape / one call instead of three
+		// redundant Resistance evaluations.
+		cellR := tp.cellR
+		rPrime := r.cell.ResistancePrime(tp.soc0, tp.tb0)
 		dHdI := r.cells * (2*tp.cellI*cellR + tp.tb0*r.cell.DVocDT)
-		dHdSoc := r.cells * tp.cellI * tp.cellI * r.cell.ResistancePrime(tp.soc0, tp.tb0)
+		dHdSoc := r.cells * tp.cellI * tp.cellI * rPrime
 		dRdT := cellR * (-r.cell.Kr / (tp.tb0 * tp.tb0))
 		dHdT := r.cells * (tp.cellI*tp.cellI*dRdT + tp.cellI*r.cell.DVocDT)
 		acellI += aheat * dHdI
@@ -398,7 +456,7 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 
 		// --- voc/res to soc0/tb0 ---
 		asoc0 += avoc * r.cellOCVScale * r.cell.OCVPrime(tp.soc0)
-		asoc0 += ares * r.packResScale * r.cell.ResistancePrime(tp.soc0, tp.tb0)
+		asoc0 += ares * r.packResScale * rPrime
 		atb0 += ares * r.packResScale * dRdT
 
 		// --- battBus = load − capBus ---
@@ -474,12 +532,12 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 		acoolU := apcool*(r.coolerMax+r.pump) + aqx*(-r.coolEff*r.coolerMax)
 
 		// --- accumulate into the blocked gradient ---
-		b := k / spec.BlockSize
-		if b >= spec.Blocks() {
-			b = spec.Blocks() - 1
+		b := k / bs
+		if b >= nb {
+			b = nb - 1
 		}
-		grad[b*spec.InputsPerStep] += acapU
-		grad[b*spec.InputsPerStep+1] += acoolU
+		grad[b*mIn] += acapU
+		grad[b*mIn+1] += acoolU
 
 		asoc, asoe, atb, atc = asoc0, asoe0, atb0, atc0
 	}

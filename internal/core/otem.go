@@ -149,8 +149,24 @@ type OTEM struct {
 	roll rollout
 	// forecast buffer padded to the horizon.
 	fc []float64
-	// tape holds the adjoint-gradient intermediates (gradient.go).
+	// tape holds the adjoint-gradient intermediates (gradient.go); it is
+	// also the scratch for plain objective evaluations, so steady-state
+	// replans never allocate.
 	tape []stepTape
+	// tapeZ/tapeCost/tapeValid track which decision vector the tape was
+	// recorded at. The line search always evaluates the objective at the
+	// accepted point immediately before the solver asks for its gradient,
+	// so the adjoint can skip its own forward pass when z matches —
+	// bit-identical, since the tape rows are exactly what that forward
+	// pass would re-record.
+	tapeZ     []float64
+	tapeCost  float64
+	tapeValid bool
+
+	// objFn/gradFn are the planner callbacks, bound once at construction so
+	// each replan does not allocate a method value or closure.
+	objFn  func([]float64) float64
+	gradFn func(z, g []float64)
 }
 
 // New returns an OTEM controller for the given configuration.
@@ -174,12 +190,19 @@ func New(cfg Config) (*OTEM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &OTEM{
+	o := &OTEM{
 		cfg:     cfg,
 		planner: planner,
-		plan:    make([]float64, 0),
+		plan:    make([]float64, 0, planner.Spec().Dim()),
 		fc:      make([]float64, cfg.Horizon),
-	}, nil
+		tape:    make([]stepTape, cfg.Horizon),
+		tapeZ:   make([]float64, planner.Spec().Dim()),
+	}
+	o.objFn = o.objective
+	if !cfg.NumericGradient {
+		o.gradFn = func(z, g []float64) { o.objectiveGrad(z, g) }
+	}
+	return o, nil
 }
 
 // Name implements sim.Controller.
@@ -229,6 +252,8 @@ func (o *OTEM) Decide(p *sim.Plant, forecast []float64) sim.Action {
 // execution cursor.
 func (o *OTEM) replan(p *sim.Plant, forecast []float64) {
 	o.roll.capture(p, o.cfg)
+	// The rollout state and forecast changed, so any recorded tape is stale.
+	o.tapeValid = false
 	// Pad/truncate the forecast to the horizon.
 	for k := range o.fc {
 		if k < len(forecast) {
@@ -238,15 +263,14 @@ func (o *OTEM) replan(p *sim.Plant, forecast []float64) {
 		}
 	}
 	o.planner.Advance(o.cursor)
-	var grad func([]float64, []float64)
-	if !o.cfg.NumericGradient {
-		grad = func(z, g []float64) { o.objectiveGrad(z, g) }
-	}
-	plan, _, err := o.planner.PlanGrad(o.objective, grad)
+	plan, _, err := o.planner.PlanGrad(o.objFn, o.gradFn)
 	if err != nil {
 		// Objective failures cannot happen with a validated config; fall
 		// back to a do-nothing hybrid action (battery carries everything).
-		o.plan = append(o.plan[:0], make([]float64, o.planner.Spec().Dim())...)
+		o.plan = o.plan[:0]
+		for i, n := 0, o.planner.Spec().Dim(); i < n; i++ {
+			o.plan = append(o.plan, 0)
+		}
 	} else {
 		o.plan = append(o.plan[:0], plan...)
 	}
@@ -257,7 +281,31 @@ func (o *OTEM) replan(p *sim.Plant, forecast []float64) {
 // objective is the single-shooting cost of the blocked decision vector z
 // (forward pass only; see gradient.go for the taped forward and the adjoint).
 func (o *OTEM) objective(z []float64) float64 {
-	return o.objectiveFwd(z, nil)
+	cost := o.objectiveFwd(z, o.tape[:o.cfg.Horizon])
+	o.noteTape(z, cost)
+	return cost
+}
+
+// noteTape records that the tape now holds the rollout at z with the given
+// cost, so a following gradient request at the same z can reuse it.
+func (o *OTEM) noteTape(z []float64, cost float64) {
+	o.tapeZ = append(o.tapeZ[:0], z...)
+	o.tapeCost = cost
+	o.tapeValid = true
+}
+
+// tapeMatches reports whether the tape was recorded at exactly this z.
+func (o *OTEM) tapeMatches(z []float64) bool {
+	if !o.tapeValid || len(o.tapeZ) != len(z) {
+		return false
+	}
+	for i := range z {
+		//lint:ignore floatcompare the tape is reusable only for the bit-identical decision vector; exact compare intended
+		if z[i] != o.tapeZ[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // rollout caches everything the objective needs from the plant as plain
@@ -296,6 +344,11 @@ type rollout struct {
 	minInlet                 float64
 	ambientCoupling          float64
 	ambient                  float64
+
+	// cnc caches the Crank–Nicolson coefficients (they depend only on the
+	// captured cooling params and dt, so one computation per capture serves
+	// every objective/adjoint evaluation of the replan).
+	cnc cnCoef
 }
 
 func (r *rollout) capture(p *sim.Plant, cfg Config) {
@@ -337,6 +390,7 @@ func (r *rollout) capture(p *sim.Plant, cfg Config) {
 	r.minInlet = p.Loop.Params.MinInletTemp
 	r.ambientCoupling = p.Loop.Params.AmbientCoupling
 	r.ambient = p.Ambient
+	r.cnc = r.cn(r.dt)
 }
 
 var _ sim.Controller = (*OTEM)(nil)

@@ -1,0 +1,214 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSystem builds a random diagonally dominant n×n matrix (nonsingular)
+// and a random right-hand side from the given source.
+func randomSystem(rng *rand.Rand, n int) (*Matrix, Vector) {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, float64(n))
+	}
+	b := make(Vector, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return a, b
+}
+
+// TestMulVecToMatchesMulVec: the in-place product must be bit-identical to
+// the allocating form on random rectangular matrices.
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		v := make(Vector, cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := m.MulVec(v)
+		got := make(Vector, rows)
+		// Pre-poison dst: MulVecTo must overwrite, not accumulate.
+		for i := range got {
+			got[i] = 1e300
+		}
+		m.MulVecTo(got, v)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveToMatchesSolve: a reused LUFactor + SolveTo must reproduce the
+// allocating LU/Solve path bit-for-bit on random nonsingular systems.
+func TestSolveToMatchesSolve(t *testing.T) {
+	var f LUFactor // reused across all property iterations
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a, b := randomSystem(rng, n)
+		want, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		if err := f.Factorize(a); err != nil {
+			return false
+		}
+		if f.Dim() != n {
+			return false
+		}
+		got := make(Vector, n)
+		f.SolveTo(got, b)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCholeskySolveToMatchesCholeskySolve covers the SPD path, including the
+// documented in-place aliasing form dst == b.
+func TestCholeskySolveToMatchesCholeskySolve(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		// Random SPD matrix: Mᵀ·M + n·I.
+		m, _ := randomSystem(rng, n)
+		spd := m.Transpose().Mul(m)
+		for i := 0; i < n; i++ {
+			spd.Add(i, i, float64(n))
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(spd)
+		if err != nil {
+			return false
+		}
+		want := CholeskySolve(l, b)
+		got := make(Vector, n)
+		CholeskySolveTo(l, got, b)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Aliased form: solve in place over a copy of b.
+		aliased := append(Vector(nil), b...)
+		CholeskySolveTo(l, aliased, aliased)
+		for i := range want {
+			if aliased[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLUFactorReusesStorage: refactorising with the same dimension must not
+// reallocate the factor's backing storage, and refactorising after a larger
+// system must still produce correct results.
+func TestLUFactorReusesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var f LUFactor
+	a, b := randomSystem(rng, 5)
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	lu0 := &f.lu.data[0]
+	piv0 := &f.perm[0]
+	x := make(Vector, 5)
+	for round := 0; round < 3; round++ {
+		a2, b2 := randomSystem(rng, 5)
+		if err := f.Factorize(a2); err != nil {
+			t.Fatal(err)
+		}
+		if &f.lu.data[0] != lu0 || &f.perm[0] != piv0 {
+			t.Fatalf("round %d: Factorize reallocated same-dimension storage", round)
+		}
+		f.SolveTo(x, b2)
+		want, err := SolveLinear(a2, b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if x[i] != want[i] {
+				t.Fatalf("round %d: SolveTo diverged from SolveLinear at %d", round, i)
+			}
+		}
+	}
+	// Dimension change: correctness must survive a grow.
+	a3, b3 := randomSystem(rng, 8)
+	if err := f.Factorize(a3); err != nil {
+		t.Fatal(err)
+	}
+	x3 := make(Vector, 8)
+	f.SolveTo(x3, b3)
+	want, err := SolveLinear(a3, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if x3[i] != want[i] {
+			t.Fatalf("after grow: SolveTo diverged from SolveLinear at %d", i)
+		}
+	}
+	_ = b
+}
+
+// TestFactorizeSolveToSteadyStateAllocsZero: the thermal stepper's inner
+// pattern — Zero, refill, Factorize, SolveTo on owned storage — must not
+// allocate once warm.
+func TestFactorizeSolveToSteadyStateAllocsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := randomSystem(rng, 6)
+	var f LUFactor
+	x := make(Vector, 6)
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Zero()
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				a.Set(i, j, float64(i*6+j))
+			}
+			a.Add(i, i, 100)
+		}
+		if err := f.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		f.SolveTo(x, b)
+	})
+	if allocs > 0 {
+		t.Errorf("warm Factorize+SolveTo allocated %.1f times per run, want 0", allocs)
+	}
+}

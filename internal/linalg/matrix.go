@@ -102,19 +102,35 @@ func (m *Matrix) Row(i int) Vector {
 
 // MulVec returns m·v as a new vector. It panics on dimension mismatch.
 func (m *Matrix) MulVec(v Vector) Vector {
+	out := make(Vector, m.rows)
+	m.MulVecTo(out, v)
+	return out
+}
+
+// MulVecTo writes m·v into dst without allocating. dst must have length
+// m.rows and must not alias v; it panics on dimension mismatch.
+func (m *Matrix) MulVecTo(dst, v Vector) {
 	if len(v) != m.cols {
 		panic(dimErr("MulVec", m.cols, len(v)))
 	}
-	out := make(Vector, m.rows)
+	if len(dst) != m.rows {
+		panic(dimErr("MulVecTo dst", m.rows, len(dst)))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, x := range row {
 			s += x * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+}
+
+// Zero sets every element of m to zero, keeping the backing storage.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
 }
 
 // Mul returns the matrix product m·b as a new matrix.
@@ -181,12 +197,29 @@ type LUFactor struct {
 // LU computes the LU factorisation of the square matrix a with partial
 // pivoting. It returns ErrSingular if a pivot underflows.
 func LU(a *Matrix) (*LUFactor, error) {
+	f := &LUFactor{}
+	if err := f.Factorize(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factorize recomputes the factorisation for a new matrix a, reusing the
+// receiver's storage when the dimensions match (so a solver stepping a
+// fixed-size system allocates only on the first call). It returns
+// ErrSingular if a pivot underflows; the factor contents are then undefined.
+func (f *LUFactor) Factorize(a *Matrix) error {
 	if a.rows != a.cols {
 		panic(dimErr("LU", a.rows, a.cols))
 	}
 	n := a.rows
-	lu := a.Clone()
-	perm := make([]int, n)
+	if f.lu == nil || f.lu.rows != n || f.lu.cols != n {
+		f.lu = NewMatrix(n, n)
+		f.perm = make([]int, n)
+	}
+	lu := f.lu
+	copy(lu.data, a.data)
+	perm := f.perm
 	for i := range perm {
 		perm[i] = i
 	}
@@ -200,7 +233,7 @@ func LU(a *Matrix) (*LUFactor, error) {
 			}
 		}
 		if best == 0 || math.IsNaN(best) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rk := lu.data[k*n : (k+1)*n]
@@ -223,16 +256,29 @@ func LU(a *Matrix) (*LUFactor, error) {
 			}
 		}
 	}
-	return &LUFactor{lu: lu, perm: perm, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 // Solve solves A·x = b for the factored matrix, returning a new vector.
 func (f *LUFactor) Solve(b Vector) Vector {
+	x := make(Vector, f.lu.rows)
+	f.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves A·x = b for the factored matrix, writing the solution into
+// dst without allocating. dst must have length n and must not alias b; it
+// panics on dimension mismatch.
+func (f *LUFactor) SolveTo(dst, b Vector) {
 	n := f.lu.rows
 	if len(b) != n {
 		panic(dimErr("LUFactor.Solve", n, len(b)))
 	}
-	x := make(Vector, n)
+	if len(dst) != n {
+		panic(dimErr("LUFactor.SolveTo dst", n, len(dst)))
+	}
+	x := dst
 	for i := 0; i < n; i++ {
 		x[i] = b[f.perm[i]]
 	}
@@ -253,8 +299,10 @@ func (f *LUFactor) Solve(b Vector) Vector {
 		}
 		x[i] = (x[i] - s) / f.lu.data[i*n+i]
 	}
-	return x
 }
+
+// Dim returns the order n of the factored matrix.
+func (f *LUFactor) Dim() int { return f.lu.rows }
 
 // Det returns the determinant of the factored matrix.
 func (f *LUFactor) Det() float64 {
@@ -305,12 +353,25 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 
 // CholeskySolve solves A·x = b given the lower Cholesky factor L of A.
 func CholeskySolve(l *Matrix, b Vector) Vector {
+	x := make(Vector, l.rows)
+	CholeskySolveTo(l, x, b)
+	return x
+}
+
+// CholeskySolveTo solves A·x = b given the lower Cholesky factor L of A,
+// writing the solution into dst without allocating. dst must have length n;
+// aliasing b is allowed (the forward sweep consumes b[i] before writing
+// dst[i]). It panics on dimension mismatch.
+func CholeskySolveTo(l *Matrix, dst, b Vector) {
 	n := l.rows
 	if len(b) != n {
 		panic(dimErr("CholeskySolve", n, len(b)))
 	}
-	// Solve L·y = b.
-	y := make(Vector, n)
+	if len(dst) != n {
+		panic(dimErr("CholeskySolveTo dst", n, len(dst)))
+	}
+	// Solve L·y = b (y shares dst's storage).
+	y := dst
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -327,7 +388,6 @@ func CholeskySolve(l *Matrix, b Vector) Vector {
 		}
 		x[i] = s / l.data[i*n+i]
 	}
-	return x
 }
 
 // SolveTridiag solves a tridiagonal system using the Thomas algorithm.

@@ -72,11 +72,25 @@ func (s Spec) InputAt(z []float64, step, input int) float64 {
 }
 
 // Planner carries a warm start between successive plans.
+//
+// A Planner also owns the solver state — bound vectors, the optimize
+// Workspace, and result storage — so a warm-started PlanGrad call performs
+// the whole replan without allocating. That makes a Planner single-goroutine
+// state; concurrent simulations need one Planner each.
 type Planner struct {
 	spec Spec
 	warm []float64
 	// haveWarm records whether warm holds a previous solution.
 	haveWarm bool
+
+	// Reusable solver state: the per-block bounds expanded over the full
+	// decision vector, the problem shell PlanGrad fills in, the optimizer
+	// workspace, the last result, and the Advance pad scratch.
+	lower, upper []float64
+	prob         optimize.Problem
+	ws           optimize.Workspace
+	res          optimize.Result
+	lastBlock    []float64
 }
 
 // NewPlanner validates the spec and returns a planner whose first plan
@@ -86,6 +100,19 @@ func NewPlanner(spec Spec) (*Planner, error) {
 		return nil, err
 	}
 	p := &Planner{spec: spec, warm: make([]float64, spec.Dim())}
+	m := spec.InputsPerStep
+	p.lower = make([]float64, spec.Dim())
+	p.upper = make([]float64, spec.Dim())
+	for b := 0; b < spec.Blocks(); b++ {
+		copy(p.lower[b*m:], spec.Lower)
+		copy(p.upper[b*m:], spec.Upper)
+	}
+	p.prob = optimize.Problem{
+		Dim:   spec.Dim(),
+		Lower: p.lower,
+		Upper: p.upper,
+	}
+	p.lastBlock = make([]float64, m)
 	p.resetWarm()
 	return p, nil
 }
@@ -106,8 +133,8 @@ func (p *Planner) resetWarm() {
 
 // Plan minimises the objective over the blocked decision vector, starting
 // from the warm start, and retains the solution for the next call. The
-// returned slice aliases the planner's internal state — copy it if it must
-// survive the next Plan call.
+// returned slice and Result alias the planner's internal state — copy them
+// if they must survive the next Plan call.
 func (p *Planner) Plan(objective func(z []float64) float64) ([]float64, *optimize.Result, error) {
 	return p.PlanGrad(objective, nil)
 }
@@ -119,27 +146,18 @@ func (p *Planner) PlanGrad(objective func(z []float64) float64, grad func(z, g [
 	if objective == nil {
 		return nil, nil, errors.New("mpc: nil objective")
 	}
-	lower := make([]float64, p.spec.Dim())
-	upper := make([]float64, p.spec.Dim())
-	m := p.spec.InputsPerStep
-	for b := 0; b < p.spec.Blocks(); b++ {
-		copy(lower[b*m:], p.spec.Lower)
-		copy(upper[b*m:], p.spec.Upper)
-	}
-	prob := &optimize.Problem{
-		Dim:   p.spec.Dim(),
-		Func:  objective,
-		Grad:  grad,
-		Lower: lower,
-		Upper: upper,
-	}
-	res, err := optimize.Minimize(prob, p.warm, &p.spec.Options)
+	p.prob.Func = objective
+	p.prob.Grad = grad
+	res, err := p.ws.Minimize(&p.prob, p.warm, &p.spec.Options)
+	p.prob.Func = nil
+	p.prob.Grad = nil
 	if err != nil {
 		return nil, nil, err
 	}
+	p.res = res
 	copy(p.warm, res.X)
 	p.haveWarm = true
-	return p.warm, res, nil
+	return p.warm, &p.res, nil
 }
 
 // Advance shifts the warm start forward by the given number of plant steps
@@ -158,7 +176,8 @@ func (p *Planner) Advance(steps int) {
 	nb := p.spec.Blocks()
 	if shift >= nb {
 		// Everything executed; keep the last block as a constant guess.
-		last := append([]float64(nil), p.warm[(nb-1)*m:nb*m]...)
+		last := p.lastBlock
+		copy(last, p.warm[(nb-1)*m:nb*m])
 		for b := 0; b < nb; b++ {
 			copy(p.warm[b*m:(b+1)*m], last)
 		}

@@ -156,64 +156,191 @@ func (p *Problem) project(x []float64) {
 	}
 }
 
-// evaluator wraps the objective with counting and finite-difference
-// gradients when no analytic gradient is available.
-type evaluator struct {
-	p     *Problem
+// Workspace owns every buffer Minimize needs — the iterate, gradient and
+// line-search vectors, the finite-difference scratch and the L-BFGS s/y/ρ
+// history ring. A caller that keeps a Workspace across invocations (a
+// warm-started MPC planner re-solving every control step) pays for the
+// buffers once and then minimises without allocating.
+//
+// A Workspace is not safe for concurrent use: it is single-goroutine state,
+// exactly like a bytes.Buffer. Pools of workers (runner.Pool) need one
+// Workspace per worker. The zero value is ready to use.
+type Workspace struct {
+	// dim and mem are the backing capacities; buffers grow monotonically and
+	// are resliced per call, so alternating problem sizes never reallocates
+	// once the high-water mark is reached.
+	dim, mem int
+
+	x, g, dir, xNew, gNew, fdX []float64
+
+	// L-BFGS curvature history: sPool/yPool own the row storage, sHist/yHist
+	// are the ordered live views (oldest first), rho the matching 1/sᵀy.
+	sPool, yPool [][]float64
+	sHist, yHist [][]float64
+	rho          []float64
+	alpha        []float64
+
 	evals int
-	fdX   []float64 // scratch for finite differences
 }
 
-func (e *evaluator) value(x []float64) float64 {
-	e.evals++
-	return e.p.Func(x)
+// NewWorkspace returns an empty workspace. Buffers are allocated lazily on
+// the first Minimize call and reused afterwards.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes the buffers for an n-dimensional problem with memory m and
+// resets the per-call state (history, evaluation counter).
+func (ws *Workspace) ensure(n, m int) {
+	if n > ws.dim {
+		ws.x = make([]float64, n)
+		ws.g = make([]float64, n)
+		ws.dir = make([]float64, n)
+		ws.xNew = make([]float64, n)
+		ws.gNew = make([]float64, n)
+		ws.fdX = make([]float64, n)
+		ws.dim = n
+		// Row storage is dimension-dependent; force a pool rebuild.
+		ws.mem = 0
+	}
+	if m > ws.mem {
+		ws.sPool = make([][]float64, m)
+		ws.yPool = make([][]float64, m)
+		for i := range ws.sPool {
+			ws.sPool[i] = make([]float64, ws.dim)
+			ws.yPool[i] = make([]float64, ws.dim)
+		}
+		ws.sHist = make([][]float64, 0, m)
+		ws.yHist = make([][]float64, 0, m)
+		ws.rho = make([]float64, 0, m)
+		ws.alpha = make([]float64, m)
+		ws.mem = m
+	}
+	ws.x = ws.x[:n]
+	ws.g = ws.g[:n]
+	ws.dir = ws.dir[:n]
+	ws.xNew = ws.xNew[:n]
+	ws.gNew = ws.gNew[:n]
+	ws.fdX = ws.fdX[:n]
+	ws.alpha = ws.alpha[:m]
+	ws.resetHistory()
+	ws.evals = 0
 }
 
-func (e *evaluator) gradient(x, grad []float64) {
-	if e.p.Grad != nil {
-		e.p.Grad(x, grad)
+func (ws *Workspace) resetHistory() {
+	ws.sHist = ws.sHist[:0]
+	ws.yHist = ws.yHist[:0]
+	ws.rho = ws.rho[:0]
+}
+
+// value evaluates the objective, counting the call.
+func (ws *Workspace) value(p *Problem, x []float64) float64 {
+	ws.evals++
+	return p.Func(x)
+}
+
+// gradient writes ∇f(x) into grad: the analytic gradient when the problem
+// has one, otherwise the same central differences as NumericGradient,
+// inlined over the workspace scratch so no closure escapes per call.
+func (ws *Workspace) gradient(p *Problem, x, grad []float64) {
+	if p.Grad != nil {
+		p.Grad(x, grad)
 		return
 	}
-	if e.fdX == nil {
-		e.fdX = make([]float64, len(x))
+	fd := ws.fdX
+	copy(fd, x)
+	const hBase = 6.055454452393343e-06 // cbrt(2^-52), as in NumericGradient
+	for i := range fd {
+		xi := fd[i]
+		h := hBase * (1 + math.Abs(xi))
+		fd[i] = xi + h
+		ws.evals++
+		fp := p.Func(fd)
+		fd[i] = xi - h
+		ws.evals++
+		fm := p.Func(fd)
+		fd[i] = xi
+		grad[i] = (fp - fm) / (2 * h)
 	}
-	copy(e.fdX, x)
-	NumericGradient(func(y []float64) float64 {
-		e.evals++
-		return e.p.Func(y)
-	}, e.fdX, grad)
-	copy(e.fdX, x)
+}
+
+// pushPair appends the curvature pair s = xNew−x, y = gNew−g to the history
+// ring when it passes the positive-curvature test, reusing the oldest row
+// once the ring is full.
+func (ws *Workspace) pushPair(x, xNew, g, gNew []float64) {
+	var sy, ss, yy float64
+	for i := range x {
+		s := xNew[i] - x[i]
+		y := gNew[i] - g[i]
+		sy += s * y
+		ss += s * s
+		yy += y * y
+	}
+	if !(sy > 1e-12*math.Sqrt(ss)*math.Sqrt(yy) && sy > 0) {
+		return
+	}
+	m := len(ws.alpha)
+	k := len(ws.sHist)
+	var srow, yrow []float64
+	if k == m {
+		// Full: recycle the oldest row to the back of the ring.
+		srow, yrow = ws.sHist[0], ws.yHist[0]
+		copy(ws.sHist, ws.sHist[1:])
+		copy(ws.yHist, ws.yHist[1:])
+		copy(ws.rho, ws.rho[1:])
+		ws.sHist[m-1] = srow
+		ws.yHist[m-1] = yrow
+		ws.rho[m-1] = 1 / sy
+	} else {
+		srow = ws.sPool[k][:len(x)]
+		yrow = ws.yPool[k][:len(x)]
+		ws.sHist = append(ws.sHist, srow)
+		ws.yHist = append(ws.yHist, yrow)
+		ws.rho = append(ws.rho, 1/sy)
+	}
+	for i := range srow {
+		srow[i] = xNew[i] - x[i]
+		yrow[i] = gNew[i] - g[i]
+	}
 }
 
 // Minimize finds a local minimiser of p starting at x0 using projected
 // L-BFGS. x0 is not modified. The returned Result always carries the best
 // point seen, even on MaxIterationsReached or LineSearchStalled.
+//
+// Minimize allocates a fresh workspace per call; hot paths that re-solve
+// repeatedly should hold a Workspace and call its Minimize method instead.
 func Minimize(p *Problem, x0 []float64, opts *Options) (*Result, error) {
-	if err := p.validate(x0); err != nil {
+	var ws Workspace
+	res, err := ws.Minimize(p, x0, opts)
+	if err != nil {
 		return nil, err
+	}
+	return &res, nil
+}
+
+// Minimize is the workspace-reusing form of the package-level Minimize: the
+// same projected L-BFGS, but every buffer comes from the workspace, so a
+// warm workspace performs the whole minimisation without allocating.
+//
+// The returned Result.X aliases workspace storage and is only valid until
+// the next call on the same workspace — copy it if it must survive.
+func (ws *Workspace) Minimize(p *Problem, x0 []float64, opts *Options) (Result, error) {
+	if err := p.validate(x0); err != nil {
+		return Result{}, err
 	}
 	o := opts.withDefaults()
 	n := p.Dim
-	ev := &evaluator{p: p}
+	ws.ensure(n, o.Memory)
 
-	x := append([]float64(nil), x0...)
+	x := ws.x
+	copy(x, x0)
 	p.project(x)
-	f := ev.value(x)
-	g := make([]float64, n)
-	ev.gradient(x, g)
+	f := ws.value(p, x)
+	g := ws.g
+	ws.gradient(p, x, g)
 
-	// L-BFGS history ring buffers.
-	m := o.Memory
-	sHist := make([][]float64, 0, m)
-	yHist := make([][]float64, 0, m)
-	rhoHist := make([]float64, 0, m)
+	dir, xNew, gNew := ws.dir, ws.xNew, ws.gNew
 
-	dir := make([]float64, n)
-	xNew := make([]float64, n)
-	gNew := make([]float64, n)
-	alphaBuf := make([]float64, m)
-
-	res := &Result{X: x, F: f}
+	res := Result{X: x, F: f}
 	status := MaxIterationsReached
 
 	for iter := 0; iter < o.MaxIterations; iter++ {
@@ -226,7 +353,7 @@ func Minimize(p *Problem, x0 []float64, opts *Options) (*Result, error) {
 
 		// Two-loop recursion for d = -H·g, restricted to free variables so
 		// bound-active coordinates do not pollute the curvature estimate.
-		twoLoop(dir, g, sHist, yHist, rhoHist, alphaBuf)
+		twoLoop(dir, g, ws.sHist, ws.yHist, ws.rho, ws.alpha)
 		for i := range dir {
 			dir[i] = -dir[i]
 		}
@@ -242,18 +369,16 @@ func Minimize(p *Problem, x0 []float64, opts *Options) (*Result, error) {
 		// information exists; before that, scale by the gradient so the
 		// first probe is O(1) rather than O(‖g‖).
 		alpha0 := 1.0
-		if len(sHist) == 0 {
+		if len(ws.sHist) == 0 {
 			if gn := normInf(g); gn > 1 {
 				alpha0 = 1 / gn
 			}
 		}
-		fNew, ok := e2lineSearch(ev, p, x, f, g, dir, xNew, o.MaxLineSearch, alpha0)
-		if !ok && len(sHist) > 0 {
+		fNew, ok := ws.lineSearch(p, x, f, g, dir, xNew, o.MaxLineSearch, alpha0)
+		if !ok && len(ws.sHist) > 0 {
 			// The quasi-Newton model went bad; drop the history and retry
 			// with a scaled steepest-descent step.
-			sHist = sHist[:0]
-			yHist = yHist[:0]
-			rhoHist = rhoHist[:0]
+			ws.resetHistory()
 			for i := range dir {
 				dir[i] = -g[i]
 			}
@@ -262,33 +387,16 @@ func Minimize(p *Problem, x0 []float64, opts *Options) (*Result, error) {
 			} else {
 				alpha0 = 1
 			}
-			fNew, ok = e2lineSearch(ev, p, x, f, g, dir, xNew, o.MaxLineSearch, alpha0)
+			fNew, ok = ws.lineSearch(p, x, f, g, dir, xNew, o.MaxLineSearch, alpha0)
 		}
 		if !ok {
 			status = LineSearchStalled
 			break
 		}
-		ev.gradient(xNew, gNew)
+		ws.gradient(p, xNew, gNew)
 
 		// Update curvature history with s = xNew-x, y = gNew-g.
-		s := make([]float64, n)
-		y := make([]float64, n)
-		var sy float64
-		for i := range s {
-			s[i] = xNew[i] - x[i]
-			y[i] = gNew[i] - g[i]
-			sy += s[i] * y[i]
-		}
-		if sy > 1e-12*norm2(s)*norm2(y) && sy > 0 {
-			if len(sHist) == m {
-				sHist = sHist[1:]
-				yHist = yHist[1:]
-				rhoHist = rhoHist[1:]
-			}
-			sHist = append(sHist, s)
-			yHist = append(yHist, y)
-			rhoHist = append(rhoHist, 1/sy)
-		}
+		ws.pushPair(x, xNew, g, gNew)
 
 		copy(x, xNew)
 		copy(g, gNew)
@@ -297,14 +405,14 @@ func Minimize(p *Problem, x0 []float64, opts *Options) (*Result, error) {
 
 	res.X = x
 	res.F = f
-	res.FuncEvals = ev.evals
+	res.FuncEvals = ws.evals
 	res.Status = status
 	return res, nil
 }
 
-// e2lineSearch performs a projected backtracking Armijo line search along
+// lineSearch performs a projected backtracking Armijo line search along
 // dir, writing the accepted point to xNew and returning its value.
-func e2lineSearch(ev *evaluator, p *Problem, x []float64, f float64, g, dir, xNew []float64, maxSteps int, alpha0 float64) (float64, bool) {
+func (ws *Workspace) lineSearch(p *Problem, x []float64, f float64, g, dir, xNew []float64, maxSteps int, alpha0 float64) (float64, bool) {
 	const c1 = 1e-4
 	alpha := alpha0
 	gd := dot(g, dir)
@@ -327,7 +435,7 @@ func e2lineSearch(ev *evaluator, p *Problem, x []float64, f float64, g, dir, xNe
 		if !moved {
 			return f, false
 		}
-		fNew := ev.value(xNew)
+		fNew := ws.value(p, xNew)
 		// Armijo condition on the projected step; fall back to the raw
 		// direction slope when projection did not truncate the step.
 		slope := sg
@@ -437,12 +545,4 @@ func normInf(a []float64) float64 {
 		}
 	}
 	return m
-}
-
-func norm2(a []float64) float64 {
-	var s float64
-	for _, x := range a {
-		s += x * x
-	}
-	return math.Sqrt(s)
 }

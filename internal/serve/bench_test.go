@@ -73,21 +73,25 @@ func BenchmarkSimulateHotKey(b *testing.B) {
 	}
 }
 
-// TestServeBenchJSON is the `make serve-bench` load harness: real
-// simulations over real HTTP, a concurrent client fleet on the bounded
-// worker pool, throughput and cache hit ratio written to the path in
-// SERVE_BENCH_JSON. Without the environment variable the test is a
-// cheap smoke (few requests, nothing written) so `go test ./...` stays
-// fast while the harness logic is still exercised.
-func TestServeBenchJSON(t *testing.T) {
-	out := os.Getenv("SERVE_BENCH_JSON")
-	requests := 24
-	clients := 4
-	if out != "" {
-		requests = 360
-		clients = 3 * runtime.GOMAXPROCS(0)
-	}
+// serveLoadRun is one load measurement at a fixed GOMAXPROCS setting,
+// against a fresh server (so cache behaviour is identical across settings
+// and the throughput numbers are comparable).
+type serveLoadRun struct {
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Clients        int     `json:"clients"`
+	DurationNS     int64   `json:"duration_ns"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheCoalesced int64   `json:"cache_coalesced"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	Rejected429    int64   `json:"rejected_429"`
+}
 
+// serveLoad fires `requests` real simulations at a fresh in-process server
+// with a `clients`-wide fleet and returns the measured run.
+func serveLoad(t *testing.T, requests, clients int) serveLoadRun {
+	t.Helper()
 	s := newTestServer(Config{MaxInflight: runtime.GOMAXPROCS(0), MaxQueue: requests})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -130,37 +134,62 @@ func TestServeBenchJSON(t *testing.T) {
 	if served != int64(requests) {
 		t.Fatalf("accounting: %d outcomes for %d requests", served, requests)
 	}
-	hitRatio := float64(c.CacheHits+c.CacheCoalesced) / float64(requests)
-	throughput := float64(requests) / elapsed.Seconds()
-
-	if out == "" {
-		t.Logf("smoke: %d requests in %s (%.0f req/s, hit ratio %.2f)", requests, elapsed, throughput, hitRatio)
-		return
-	}
-	report := struct {
-		GOMAXPROCS     int     `json:"gomaxprocs"`
-		Clients        int     `json:"clients"`
-		Requests       int     `json:"requests"`
-		DistinctSpecs  int     `json:"distinct_specs"`
-		DurationNS     int64   `json:"duration_ns"`
-		ThroughputRPS  float64 `json:"throughput_rps"`
-		CacheHits      int64   `json:"cache_hits"`
-		CacheMisses    int64   `json:"cache_misses"`
-		CacheCoalesced int64   `json:"cache_coalesced"`
-		CacheHitRatio  float64 `json:"cache_hit_ratio"`
-		Rejected429    int64   `json:"rejected_429"`
-	}{
+	return serveLoadRun{
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		Clients:        clients,
-		Requests:       requests,
-		DistinctSpecs:  len(bodies),
 		DurationNS:     elapsed.Nanoseconds(),
-		ThroughputRPS:  throughput,
+		ThroughputRPS:  float64(requests) / elapsed.Seconds(),
 		CacheHits:      c.CacheHits,
 		CacheMisses:    c.CacheMisses,
 		CacheCoalesced: c.CacheCoalesced,
-		CacheHitRatio:  hitRatio,
+		CacheHitRatio:  float64(c.CacheHits+c.CacheCoalesced) / float64(requests),
 		Rejected429:    c.AdmissionRejected,
+	}
+}
+
+// TestServeBenchJSON is the `make serve-bench` load harness: real
+// simulations over real HTTP, a concurrent client fleet on the bounded
+// worker pool, throughput and cache hit ratio written to the path in
+// SERVE_BENCH_JSON. The load is measured at both GOMAXPROCS=1 and
+// GOMAXPROCS=NumCPU — against a fresh server each time so the numbers are
+// comparable — because a single throughput figure taken at an unknown
+// processor count cannot be compared across machines. Without the
+// environment variable the test is a cheap smoke (few requests, current
+// GOMAXPROCS only, nothing written) so `go test ./...` stays fast while
+// the harness logic is still exercised.
+func TestServeBenchJSON(t *testing.T) {
+	out := os.Getenv("SERVE_BENCH_JSON")
+	if out == "" {
+		run := serveLoad(t, 24, 4)
+		t.Logf("smoke: 24 requests in %s (%.0f req/s, hit ratio %.2f)",
+			time.Duration(run.DurationNS), run.ThroughputRPS, run.CacheHitRatio)
+		return
+	}
+
+	const requests = 360
+	procSettings := []int{1, runtime.NumCPU()}
+	if procSettings[1] == 1 {
+		procSettings = procSettings[:1]
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var runs []serveLoadRun
+	for _, procs := range procSettings {
+		runtime.GOMAXPROCS(procs)
+		runs = append(runs, serveLoad(t, requests, 3*procs))
+	}
+
+	report := struct {
+		NumCPU        int            `json:"num_cpu"`
+		Requests      int            `json:"requests"`
+		DistinctSpecs int            `json:"distinct_specs"`
+		Runs          []serveLoadRun `json:"runs"`
+	}{
+		NumCPU:        runtime.NumCPU(),
+		Requests:      requests,
+		DistinctSpecs: len(benchSpecs()),
+		Runs:          runs,
 	}
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -169,5 +198,7 @@ func TestServeBenchJSON(t *testing.T) {
 	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: %.0f req/s, hit ratio %.2f", out, throughput, hitRatio)
+	for _, run := range runs {
+		t.Logf("wrote %s: @%d procs %.0f req/s, hit ratio %.2f", out, run.GOMAXPROCS, run.ThroughputRPS, run.CacheHitRatio)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
@@ -52,6 +53,12 @@ type Config struct {
 	// Log receives serving events and isolated panics; nil selects the
 	// process-default logger.
 	Log *log.Logger
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the endpoints expose goroutine dumps, heap contents
+	// and CPU profiles of the process, so they must only be enabled when
+	// the listener is reachable solely by trusted operators (localhost or
+	// a private network), never on an internet-facing address.
+	EnablePprof bool
 }
 
 // withDefaults resolves the zero values.
@@ -123,6 +130,16 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/simulate/stream", s.instrument("stream", s.handleStream))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// Explicit registrations on the server's own mux — the blank-import
+		// side effect only reaches http.DefaultServeMux, which is never
+		// served here.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }

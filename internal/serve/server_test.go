@@ -557,3 +557,26 @@ func TestRunServeError(t *testing.T) {
 		t.Fatal("Run on a closed listener returned nil")
 	}
 }
+
+// TestPprofGated pins the security default: the pprof endpoints are absent
+// unless EnablePprof is set, and present (on the server's own mux, not the
+// default mux) when it is.
+func TestPprofGated(t *testing.T) {
+	get := func(s *Server, path string) int {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w.Code
+	}
+	off := newTestServer(Config{})
+	if code := get(off, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof disabled: GET /debug/pprof/ = %d, want 404", code)
+	}
+	on := newTestServer(Config{EnablePprof: true})
+	if code := get(on, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof enabled: GET /debug/pprof/ = %d, want 200", code)
+	}
+	if code := get(on, "/debug/pprof/symbol"); code != http.StatusOK {
+		t.Errorf("pprof enabled: GET /debug/pprof/symbol = %d, want 200", code)
+	}
+}

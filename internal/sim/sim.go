@@ -135,6 +135,44 @@ type Trace struct {
 	BatteryHeat []float64
 }
 
+// Reset truncates every series to zero length while keeping the backing
+// arrays, so the next run appends into the same storage.
+func (tr *Trace) Reset() {
+	tr.Time = tr.Time[:0]
+	tr.PowerRequest = tr.PowerRequest[:0]
+	tr.BatteryTemp = tr.BatteryTemp[:0]
+	tr.CoolantTemp = tr.CoolantTemp[:0]
+	tr.SoC = tr.SoC[:0]
+	tr.SoE = tr.SoE[:0]
+	tr.CoolerPower = tr.CoolerPower[:0]
+	tr.BatteryPower = tr.BatteryPower[:0]
+	tr.CapPower = tr.CapPower[:0]
+	tr.BatteryHeat = tr.BatteryHeat[:0]
+}
+
+// reserve grows each series to capacity n (keeping contents), so a run of n
+// steps appends without reallocating.
+func (tr *Trace) reserve(n int) {
+	if cap(tr.Time) >= n {
+		return
+	}
+	grow := func(s []float64) []float64 {
+		out := make([]float64, len(s), n)
+		copy(out, s)
+		return out
+	}
+	tr.Time = grow(tr.Time)
+	tr.PowerRequest = grow(tr.PowerRequest)
+	tr.BatteryTemp = grow(tr.BatteryTemp)
+	tr.CoolantTemp = grow(tr.CoolantTemp)
+	tr.SoC = grow(tr.SoC)
+	tr.SoE = grow(tr.SoE)
+	tr.CoolerPower = grow(tr.CoolerPower)
+	tr.BatteryPower = grow(tr.BatteryPower)
+	tr.CapPower = grow(tr.CapPower)
+	tr.BatteryHeat = grow(tr.BatteryHeat)
+}
+
 func (tr *Trace) append(t, pe, tb, tc, soc, soe, pcool, pbatt, pcap, qb float64) {
 	tr.Time = append(tr.Time, t)
 	tr.PowerRequest = append(tr.PowerRequest, pe)
@@ -216,6 +254,20 @@ type Config struct {
 	// Horizon is how many future samples are shown to the controller
 	// (≥ 1; the first entry is the current step).
 	Horizon int
+	// Scratch optionally supplies reusable run buffers; nil allocates fresh
+	// ones (the original behaviour).
+	Scratch *Scratch
+}
+
+// Scratch holds the per-run buffers — the forecast window and, when tracing,
+// the trace storage — so repeated simulations (sweeps, benchmark loops,
+// pooled workers) run without per-route allocations. Like an optimize
+// Workspace it is single-goroutine state: give each runner.Pool worker its
+// own. A Result produced with a Scratch aliases its trace storage, which the
+// next run reuses — copy the trace if it must survive.
+type Scratch struct {
+	forecast []float64
+	trace    Trace
 }
 
 // Run simulates the power-request series through the plant under the given
@@ -244,10 +296,23 @@ func RunContext(ctx context.Context, plant *Plant, ctrl Controller, requests []f
 	}
 
 	res := Result{Controller: ctrl.Name(), Steps: len(requests), DT: plant.DT}
-	if cfg.RecordTrace {
-		res.Trace = &Trace{}
+	var forecast []float64
+	if sc := cfg.Scratch; sc != nil {
+		if cap(sc.forecast) < horizon {
+			sc.forecast = make([]float64, horizon)
+		}
+		forecast = sc.forecast[:horizon]
+		if cfg.RecordTrace {
+			sc.trace.Reset()
+			sc.trace.reserve(len(requests))
+			res.Trace = &sc.trace
+		}
+	} else {
+		forecast = make([]float64, horizon)
+		if cfg.RecordTrace {
+			res.Trace = &Trace{}
+		}
 	}
-	forecast := make([]float64, horizon)
 	safe := plant.HEES.Battery.Cell.SafeTemp
 	done := ctx.Done() // nil for context.Background(): the select never fires
 

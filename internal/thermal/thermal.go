@@ -38,6 +38,14 @@ type PackNetwork struct {
 	// Tb and Tc are the module battery and coolant temperatures, kelvin,
 	// index 0 at the coolant inlet.
 	Tb, Tc []float64
+
+	// Solver scratch, allocated on first use and reused every step: the
+	// backward-Euler system matrix, its LU factorisation, and the
+	// right-hand-side / solution vectors.
+	a   *linalg.Matrix
+	lu  linalg.LUFactor
+	rhs linalg.Vector
+	x   linalg.Vector
 }
 
 // NewPackNetwork builds a network with all nodes at the initial temperature.
@@ -90,8 +98,15 @@ func (net *PackNetwork) step(qb, w, tin, dt float64, advect bool) error {
 
 	// Unknowns x = [Tb_0..Tb_{n-1}, Tc_0..Tc_{n-1}] at t+dt.
 	dim := 2 * n
-	a := linalg.NewMatrix(dim, dim)
-	rhs := make(linalg.Vector, dim)
+	if net.a == nil {
+		net.a = linalg.NewMatrix(dim, dim)
+		net.rhs = make(linalg.Vector, dim)
+		net.x = make(linalg.Vector, dim)
+	} else {
+		net.a.Zero()
+	}
+	a := net.a
+	rhs := net.rhs
 	for i := 0; i < n; i++ {
 		bi := i     // battery row
 		ci := n + i // coolant row
@@ -119,12 +134,12 @@ func (net *PackNetwork) step(qb, w, tin, dt float64, advect bool) error {
 			rhs[ci] = cc*net.Tc[i] + wAmb*tin
 		}
 	}
-	x, err := linalg.SolveLinear(a, rhs)
-	if err != nil {
+	if err := net.lu.Factorize(a); err != nil {
 		return fmt.Errorf("thermal: %w", err)
 	}
-	copy(net.Tb, x[:n])
-	copy(net.Tc, x[n:])
+	net.lu.SolveTo(net.x, rhs)
+	copy(net.Tb, net.x[:n])
+	copy(net.Tc, net.x[n:])
 	return nil
 }
 
