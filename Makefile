@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt serve-smoke serve-bench sim-bench
+.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt serve-smoke serve-bench sim-bench fleet-bench
 
 build:
 	$(GO) build ./...
@@ -90,3 +90,14 @@ serve-bench:
 sim-bench:
 	SIM_BENCH_JSON=$(CURDIR)/BENCH_sim.json $(GO) test -run TestSimBenchJSON -count=1 -timeout 20m ./internal/core
 	cat BENCH_sim.json
+
+# Monte Carlo fleet benchmark: 10k vehicles under the Parallel baseline,
+# rolled once on 1 worker and once on GOMAXPROCS workers, vehicles/sec and
+# allocs per vehicle-step written to BENCH_fleet.json (committed so fleet
+# throughput regressions are visible in review). The harness fails on an
+# allocs-per-vehicle-step budget breach, on a committed throughput floor,
+# and if the two runs disagree on the result digest — the determinism
+# contract re-checked at benchmark scale.
+fleet-bench:
+	FLEET_BENCH_JSON=$(CURDIR)/BENCH_fleet.json $(GO) test -run TestFleetBenchJSON -count=1 -timeout 20m ./internal/fleet
+	cat BENCH_fleet.json

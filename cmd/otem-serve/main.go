@@ -38,6 +38,9 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request simulation budget (0 = 60s)")
 		drain    = flag.Duration("drain", 0, "graceful shutdown drain budget (0 = 15s)")
 		repeats  = flag.Int("max-repeats", 0, "max cycle repetitions per spec (0 = 100)")
+		fleetVeh = flag.Int("max-fleet-vehicles", 0, "max vehicles per /v1/fleet request (0 = 512)")
+		fleetDay = flag.Int("max-fleet-days", 0, "max days per /v1/fleet request (0 = 7)")
+		fleetPar = flag.Int("fleet-parallel", 0, "worker fan-out inside one /v1/fleet request (0 = GOMAXPROCS)")
 		portfile = flag.String("portfile", "", "optional file to write the bound address to once listening")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes process internals; only enable on trusted/loopback listeners)")
 	)
@@ -45,14 +48,17 @@ func main() {
 
 	logger := log.New(os.Stderr, "otem-serve: ", 0)
 	srv := serve.New(serve.Config{
-		MaxInflight:    *parallel,
-		MaxQueue:       *queue,
-		CacheSize:      *cache,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		MaxRepeats:     *repeats,
-		Log:            logger,
-		EnablePprof:    *pprofOn,
+		MaxInflight:      *parallel,
+		MaxQueue:         *queue,
+		CacheSize:        *cache,
+		RequestTimeout:   *timeout,
+		DrainTimeout:     *drain,
+		MaxRepeats:       *repeats,
+		MaxFleetVehicles: *fleetVeh,
+		MaxFleetDays:     *fleetDay,
+		FleetParallelism: *fleetPar,
+		Log:              logger,
+		EnablePprof:      *pprofOn,
 	})
 	if *pprofOn {
 		log.Printf("pprof endpoints enabled under /debug/pprof/ — do not expose this listener publicly")

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	otem-sim -method OTEM -cycle US06 -repeats 5 -ucap 25000 -trace trace.csv
+//
+// With -fleet N the command switches to Monte Carlo fleet mode: N vehicles
+// with seeded stochastic scenarios, progress as NDJSON on stderr, the
+// otem.fleet/v1 result on stdout with -json:
+//
+//	otem-sim -fleet 10000 -method Parallel -days 5 -seed 42 -parallel 8 -json
 package main
 
 import (
@@ -40,6 +46,15 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the result summary as JSON instead of text")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+
+		// Fleet mode (-fleet > 0 switches over; -cycle/-repeats/-trace do
+		// not apply, routes are synthesized per vehicle from the seed).
+		fleet    = flag.Int("fleet", 0, "Monte Carlo fleet mode: number of vehicles (0 = single-run mode)")
+		days     = flag.Int("days", 1, "fleet mode: daily routes per vehicle")
+		seed     = flag.Int64("seed", 0, "fleet mode: master seed (same seed ⇒ bit-identical result)")
+		parallel = flag.Int("parallel", 0, "fleet mode: worker count (0 = GOMAXPROCS; result is identical at any setting)")
+		route    = flag.Float64("route", 600, "fleet mode: target route duration per day, seconds")
+		progress = flag.Bool("progress", true, "fleet mode: emit NDJSON progress events on stderr")
 	)
 	flag.Parse()
 
@@ -53,6 +68,21 @@ func main() {
 			log.Fatalf("start CPU profile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *fleet > 0 {
+		runFleet(fleetFlags{
+			vehicles: *fleet,
+			days:     *days,
+			seed:     *seed,
+			parallel: *parallel,
+			route:    *route,
+			method:   *method,
+			ucap:     *ucap,
+			asJSON:   *asJSON,
+			progress: *progress,
+		})
+		return
 	}
 
 	res, err := experiments.Run(experiments.RunSpec{

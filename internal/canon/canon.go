@@ -1,0 +1,73 @@
+// Package canon defines the canonical-encoding contract every public run
+// specification implements: a stable, self-describing byte encoding that
+// is the same no matter which surface produced the spec. The otem-serve
+// cache keys, the CLI JSON output and the fleet result digests all derive
+// from this one code path, so two specs encode identically exactly when
+// they describe the same deterministic computation.
+//
+// The format is deliberately trivial — a versioned name followed by
+// "|key=value" fields in a fixed order — so it stays diffable in logs and
+// greppable in cache dumps. It is not meant to be parsed back; the JSON
+// schemas in the otem package are the decodable wire formats.
+package canon
+
+import "strconv"
+
+// Spec is the canonical-encoding interface shared by RunSpec, DSEConfig,
+// LifetimeConfig and FleetSpec. AppendCanonical appends the spec's
+// canonical encoding to dst and returns the extended slice, in the
+// append-style idiom so hot callers can reuse one buffer.
+type Spec interface {
+	AppendCanonical(dst []byte) []byte
+}
+
+// String renders a spec's canonical encoding as a string — the form used
+// for cache keys and digests.
+func String(s Spec) string {
+	return string(s.AppendCanonical(nil))
+}
+
+// Field appends one "|key=" separator pair; the caller appends the value.
+func Field(dst []byte, key string) []byte {
+	dst = append(dst, '|')
+	dst = append(dst, key...)
+	return append(dst, '=')
+}
+
+// Str appends a string-valued field.
+func Str(dst []byte, key, v string) []byte {
+	return append(Field(dst, key), v...)
+}
+
+// Int appends an integer-valued field.
+func Int(dst []byte, key string, v int) []byte {
+	return strconv.AppendInt(Field(dst, key), int64(v), 10)
+}
+
+// Int64 appends a 64-bit integer field (seeds).
+func Int64(dst []byte, key string, v int64) []byte {
+	return strconv.AppendInt(Field(dst, key), v, 10)
+}
+
+// Float appends a float field in the shortest round-trippable form, so
+// the encoding is bit-faithful to the value that parameterised the run.
+func Float(dst []byte, key string, v float64) []byte {
+	return strconv.AppendFloat(Field(dst, key), v, 'g', -1, 64)
+}
+
+// Bool appends a boolean field.
+func Bool(dst []byte, key string, v bool) []byte {
+	return strconv.AppendBool(Field(dst, key), v)
+}
+
+// Floats appends a list-valued field as comma-joined shortest floats.
+func Floats(dst []byte, key string, vs []float64) []byte {
+	dst = Field(dst, key)
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	}
+	return dst
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/canon"
 	"repro/internal/cooling"
 	"repro/internal/core"
 	"repro/internal/core/floats"
@@ -95,6 +96,20 @@ func (c Config) withDefaults() Config {
 		c.Cost = DefaultCostModel()
 	}
 	return c
+}
+
+// AppendCanonical implements the canonical-encoding contract (see package
+// canon) over the defaulted grid, workload and cost model.
+func (c Config) AppendCanonical(dst []byte) []byte {
+	c = c.withDefaults()
+	dst = append(dst, "otem.dse"...)
+	dst = canon.Floats(dst, "u", c.UltracapSizesF)
+	dst = canon.Floats(dst, "p", c.CoolerPowersW)
+	dst = canon.Str(dst, "c", c.Cycle)
+	dst = canon.Int(dst, "r", c.Repeats)
+	dst = canon.Float(dst, "cf", c.Cost.DollarsPerFarad)
+	dst = canon.Float(dst, "cw", c.Cost.DollarsPerCoolerWatt)
+	return dst
 }
 
 // Result holds the explored grid and its Pareto frontier.

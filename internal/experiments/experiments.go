@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/core/floats"
 	"repro/internal/drivecycle"
@@ -71,6 +72,25 @@ type RunSpec struct {
 	UltracapF float64
 	// Trace enables per-step recording.
 	Trace bool
+}
+
+// AppendCanonical implements the canonical-encoding contract (see package
+// canon): a stable rendering of every outcome-determining field, after
+// defaulting — the serve result cache keys on it.
+func (s RunSpec) AppendCanonical(dst []byte) []byte {
+	if s.Repeats < 1 {
+		s.Repeats = 1
+	}
+	if floats.Zero(s.UltracapF) {
+		s.UltracapF = 25000
+	}
+	dst = append(dst, "otem.run"...)
+	dst = canon.Str(dst, "m", string(s.Method))
+	dst = canon.Str(dst, "c", s.Cycle)
+	dst = canon.Int(dst, "r", s.Repeats)
+	dst = canon.Float(dst, "u", s.UltracapF)
+	dst = canon.Bool(dst, "t", s.Trace)
+	return dst
 }
 
 // Run executes one specification on a fresh default plant and vehicle.

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/runner"
+)
+
+const (
+	// fleetBenchVehicles is the `make fleet-bench` fleet size; the smoke
+	// mode (plain `go test`) shrinks it so the suite stays fast.
+	fleetBenchVehicles = 10000
+	// fleetBenchAllocBudget is the committed ceiling on heap allocations
+	// per vehicle-step. Unlike the core hot path, a fleet vehicle pays
+	// per-vehicle setup (route synthesis, plant, one controller per day)
+	// that amortizes over its route; the budget covers that amortized cost
+	// plus the steady-state stepping, which allocates nothing.
+	fleetBenchAllocBudget = 0.5
+	// fleetBenchMinVehiclesPerSec is the committed throughput floor at
+	// GOMAXPROCS workers under the Parallel baseline. Deliberately ~10×
+	// below the measured rate so the gate catches order-of-magnitude
+	// regressions (an accidental O(fleet) buffer, a controller rebuilt per
+	// step) without flaking on slow CI machines.
+	fleetBenchMinVehiclesPerSec = 150
+)
+
+// fleetBenchReport is the BENCH_fleet.json schema produced by
+// `make fleet-bench`.
+type fleetBenchReport struct {
+	Benchmark     string  `json:"benchmark"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Vehicles      int     `json:"vehicles"`
+	Days          int     `json:"days"`
+	RouteSeconds  float64 `json:"route_seconds"`
+	Method        string  `json:"method"`
+	StepsPerRun   uint64  `json:"steps_per_run"`
+	Digest        string  `json:"digest"`
+	SerialSec     float64 `json:"serial_seconds"`
+	SerialRate    float64 `json:"serial_vehicles_per_sec"`
+	ParallelSec   float64 `json:"parallel_seconds"`
+	ParallelRate  float64 `json:"parallel_vehicles_per_sec"`
+	Workers       int     `json:"parallel_workers"`
+	Speedup       float64 `json:"speedup"`
+	AllocsPerStep float64 `json:"allocs_per_vehicle_step"`
+	AllocBudget   float64 `json:"alloc_budget_allocs_per_vehicle_step"`
+	RateBudget    float64 `json:"min_vehicles_per_sec"`
+}
+
+// TestFleetBenchJSON is the `make fleet-bench` harness: a Monte Carlo
+// fleet under the Parallel baseline, rolled once sequentially and once at
+// GOMAXPROCS workers, vehicles/sec and allocs per vehicle-step written to
+// the path in FLEET_BENCH_JSON. Without the environment variable the test
+// runs a small smoke fleet (nothing written) so plain `go test ./...`
+// stays fast. In both modes it fails when the per-vehicle-step allocation
+// count exceeds the committed budget, and it re-checks the determinism
+// contract: both runs must produce the same digest.
+func TestFleetBenchJSON(t *testing.T) {
+	out := os.Getenv("FLEET_BENCH_JSON")
+	spec := Spec{
+		Vehicles:     fleetBenchVehicles,
+		Days:         1,
+		Seed:         1,
+		Method:       policy.MethodologyParallel,
+		RouteSeconds: 600,
+	}
+	name := "FleetParallelBaseline"
+	if out == "" {
+		spec.Vehicles = 300
+		spec.RouteSeconds = 120
+		name = "FleetParallelBaseline/smoke"
+	}
+	ctx := context.Background()
+
+	run := func(workers int) (*Result, time.Duration, uint64) {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := Run(ctx, spec, runner.New(runner.Workers(workers)), nil)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, elapsed, m1.Mallocs - m0.Mallocs
+	}
+
+	serialRes, serialDur, serialAllocs := run(1)
+	parRes, parDur, _ := run(runtime.GOMAXPROCS(0))
+	steps := serialRes.Steps
+
+	if s, p := serialRes.Digest(), parRes.Digest(); s != p {
+		t.Fatalf("determinism violated: serial digest %s, parallel digest %s", s, p)
+	}
+	if steps == 0 {
+		t.Fatal("fleet simulated zero steps")
+	}
+
+	allocsPerStep := float64(serialAllocs) / float64(steps)
+	report := fleetBenchReport{
+		Benchmark:     name,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Vehicles:      spec.Vehicles,
+		Days:          1,
+		RouteSeconds:  spec.RouteSeconds,
+		Method:        string(spec.Method),
+		StepsPerRun:   steps,
+		Digest:        serialRes.Digest(),
+		SerialSec:     serialDur.Seconds(),
+		SerialRate:    float64(spec.Vehicles) / serialDur.Seconds(),
+		ParallelSec:   parDur.Seconds(),
+		ParallelRate:  float64(spec.Vehicles) / parDur.Seconds(),
+		Workers:       runtime.GOMAXPROCS(0),
+		Speedup:       serialDur.Seconds() / parDur.Seconds(),
+		AllocsPerStep: allocsPerStep,
+		AllocBudget:   fleetBenchAllocBudget,
+		RateBudget:    fleetBenchMinVehiclesPerSec,
+	}
+	t.Logf("%s: %d vehicles, %d steps, serial %.1f veh/s, %d-worker %.1f veh/s (×%.1f), %.3f allocs/vehicle-step",
+		name, spec.Vehicles, steps, report.SerialRate, report.Workers, report.ParallelRate, report.Speedup, allocsPerStep)
+
+	if allocsPerStep > fleetBenchAllocBudget {
+		t.Errorf("allocation regression: %.3f allocs/vehicle-step, budget %.2f", allocsPerStep, fleetBenchAllocBudget)
+	}
+	if out == "" {
+		return
+	}
+	if report.ParallelRate < fleetBenchMinVehiclesPerSec {
+		t.Errorf("throughput regression: %.1f vehicles/sec at %d workers, committed floor %d",
+			report.ParallelRate, report.Workers, fleetBenchMinVehiclesPerSec)
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,427 @@
+// Package fleet is the Monte Carlo fleet simulator: it steps N simulated
+// vehicles, each through its own seeded stochastic scenario (a synthesized
+// route shaped by a usage class, an ambient drawn from a climate band, and
+// a day-by-day plug/vacation sequence), and aggregates the per-vehicle
+// outcomes into streaming quantile sketches — so battery-lifetime claims
+// become the distributional statements the roadmap asks for, at O(workers)
+// memory no matter the fleet size.
+//
+// Determinism contract: vehicle i's outcome is a pure function of
+// (Spec, i) — fresh plant and controller per vehicle, all randomness from
+// the per-vehicle seeded RNG — and vehicles are partitioned into chunks
+// whose boundaries depend only on Spec.Vehicles, merged in chunk order.
+// The same spec therefore produces bit-identical sketches at one worker
+// and at NumCPU, which TestRunParallelIdentity gates.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/canon"
+	"repro/internal/charger"
+	"repro/internal/core"
+	"repro/internal/core/floats"
+	"repro/internal/drivecycle"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// Spec describes one fleet run. The zero value of every field is completed
+// by withDefaults, so the facade and the serve handler can pass specs
+// straight through.
+type Spec struct {
+	// Vehicles is the fleet size (required, ≥ 1).
+	Vehicles int
+	// Days is how many daily routes each vehicle drives (default 1).
+	Days int
+	// Seed is the fleet master seed every per-vehicle stream derives from.
+	Seed int64
+	// Method is the control methodology (default OTEM).
+	Method policy.Methodology
+	// UltracapF is the bank size in farads (default 25000).
+	UltracapF float64
+	// RouteSeconds is the target duration of each synthesized daily route
+	// (default 600).
+	RouteSeconds float64
+	// Horizon is the controller forecast window (default: the paper's MPC
+	// horizon from core.DefaultConfig).
+	Horizon int
+	// SketchK overrides the quantile-sketch buffer size (default 256).
+	SketchK int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Days == 0 {
+		s.Days = 1
+	}
+	if s.Method == "" {
+		s.Method = policy.MethodologyOTEM
+	}
+	if floats.Zero(s.UltracapF) {
+		s.UltracapF = 25000
+	}
+	if floats.Zero(s.RouteSeconds) {
+		s.RouteSeconds = 600
+	}
+	if s.Horizon == 0 {
+		s.Horizon = core.DefaultConfig().Horizon
+	}
+	if s.SketchK == 0 {
+		s.SketchK = defaultSketchK
+	}
+	return s
+}
+
+// Validate reports an error for an unusable spec (after defaults).
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	switch {
+	case s.Vehicles < 1:
+		return fmt.Errorf("fleet: Vehicles = %d, must be >= 1", s.Vehicles)
+	case s.Days < 1:
+		return fmt.Errorf("fleet: Days = %d, must be >= 1", s.Days)
+	case s.UltracapF <= 0:
+		return fmt.Errorf("fleet: UltracapF = %g, must be > 0", s.UltracapF)
+	case s.RouteSeconds < 60:
+		return fmt.Errorf("fleet: RouteSeconds = %g, must be >= 60", s.RouteSeconds)
+	case s.Horizon < 1:
+		return fmt.Errorf("fleet: Horizon = %d, must be >= 1", s.Horizon)
+	}
+	if _, err := newController(s.Method, s.Horizon); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AppendCanonical implements canon.Spec: every field that influences the
+// deterministic outcome, in fixed order. Serve cache keys and result
+// digests derive from this encoding.
+func (s Spec) AppendCanonical(dst []byte) []byte {
+	s = s.withDefaults()
+	dst = append(dst, "otem.fleet"...)
+	dst = canon.Int(dst, "n", s.Vehicles)
+	dst = canon.Int(dst, "d", s.Days)
+	dst = canon.Int64(dst, "s", s.Seed)
+	dst = canon.Str(dst, "m", string(s.Method))
+	dst = canon.Float(dst, "u", s.UltracapF)
+	dst = canon.Float(dst, "r", s.RouteSeconds)
+	dst = canon.Int(dst, "h", s.Horizon)
+	dst = canon.Int(dst, "k", s.SketchK)
+	return dst
+}
+
+// FamilyResult is the per-scenario-family breakdown: how many vehicles the
+// family drew and the capacity-loss distribution within it.
+type FamilyResult struct {
+	// Name is the "usage/climate" family label.
+	Name string
+	// Vehicles counts fleet members that drew this family.
+	Vehicles uint64
+	// Qloss sketches the per-vehicle capacity loss (percent) within the
+	// family, at a reduced buffer size.
+	Qloss *Sketch
+}
+
+// Result is the aggregated outcome of a fleet run. All distributions are
+// per-vehicle totals over the whole simulated horizon (driving plus
+// charging).
+type Result struct {
+	// Spec is the (defaulted) specification that produced the result.
+	Spec Spec
+	// Vehicles and Days echo the fleet shape; Steps is the total number of
+	// simulated drive steps across the fleet.
+	Vehicles int
+	Days     int
+	Steps    uint64
+	// Qloss sketches per-vehicle capacity loss, percent of rated capacity.
+	Qloss *Sketch
+	// EnergyJ sketches per-vehicle total energy: HEES consumption while
+	// driving plus wall energy while charging, joules.
+	EnergyJ *Sketch
+	// PeakTempK sketches each vehicle's peak battery temperature, kelvin.
+	PeakTempK *Sketch
+	// Families breaks Qloss down by scenario family, in FamilyNames order.
+	Families []FamilyResult
+	// FallbackSteps counts infeasible-action fallbacks across the fleet.
+	FallbackSteps uint64
+	// ThermalViolationSec sums constraint-C1 violation time, seconds.
+	ThermalViolationSec float64
+}
+
+// Digest fingerprints the complete result state (spec encoding included):
+// two runs digest equal exactly when they are bit-identical.
+func (r *Result) Digest() string {
+	d := NewDigest()
+	d.Text(canon.String(r.Spec))
+	d.Uint64(uint64(r.Vehicles))
+	d.Uint64(uint64(r.Days))
+	d.Uint64(r.Steps)
+	d.Uint64(r.FallbackSteps)
+	d.Float(r.ThermalViolationSec)
+	r.Qloss.AppendDigest(d)
+	r.EnergyJ.AppendDigest(d)
+	r.PeakTempK.AppendDigest(d)
+	for _, f := range r.Families {
+		d.Text(f.Name)
+		d.Uint64(f.Vehicles)
+		f.Qloss.AppendDigest(d)
+	}
+	return d.Sum()
+}
+
+// familySketchK sizes the per-family sketches: families see a fraction of
+// the fleet, so a smaller buffer holds the same relative accuracy.
+const familySketchK = 64
+
+// newAccumulator builds an empty per-chunk (or final) accumulator.
+func newAccumulator(spec Spec) *Result {
+	r := &Result{
+		Spec:      spec,
+		Qloss:     NewSketch(spec.SketchK),
+		EnergyJ:   NewSketch(spec.SketchK),
+		PeakTempK: NewSketch(spec.SketchK),
+	}
+	for _, name := range FamilyNames() {
+		r.Families = append(r.Families, FamilyResult{Name: name, Qloss: NewSketch(familySketchK)})
+	}
+	return r
+}
+
+// add folds one vehicle's outcome in.
+func (r *Result) add(o vehicleOutcome) {
+	r.Vehicles++
+	r.Steps += uint64(o.steps)
+	r.FallbackSteps += uint64(o.fallbackSteps)
+	r.ThermalViolationSec += o.thermalViolationSec
+	r.Qloss.Add(o.qlossPct)
+	r.EnergyJ.Add(o.energyJ)
+	r.PeakTempK.Add(o.peakTempK)
+	f := &r.Families[o.family]
+	f.Vehicles++
+	f.Qloss.Add(o.qlossPct)
+}
+
+// merge folds a chunk accumulator into the final result. Merge order is
+// the chunk order, fixed by the caller.
+func (r *Result) merge(c *Result) {
+	r.Vehicles += c.Vehicles
+	r.Steps += c.Steps
+	r.FallbackSteps += c.FallbackSteps
+	r.ThermalViolationSec += c.ThermalViolationSec
+	r.Qloss.Merge(c.Qloss)
+	r.EnergyJ.Merge(c.EnergyJ)
+	r.PeakTempK.Merge(c.PeakTempK)
+	for i := range r.Families {
+		r.Families[i].Vehicles += c.Families[i].Vehicles
+		r.Families[i].Qloss.Merge(c.Families[i].Qloss)
+	}
+}
+
+// familyIndex maps a scenario to its position in FamilyNames order.
+func familyIndex(sc *scenario) int {
+	ui, ci := 0, 0
+	for i, m := range usageMix {
+		if m.class == sc.usage {
+			ui = i
+		}
+	}
+	for i, m := range climateMix {
+		if m.band == sc.climate {
+			ci = i
+		}
+	}
+	return ui*len(climateMix) + ci
+}
+
+// vehicleOutcome is the flat per-vehicle summary the accumulators consume.
+type vehicleOutcome struct {
+	family              int
+	qlossPct            float64
+	energyJ             float64
+	peakTempK           float64
+	steps               int
+	fallbackSteps       int
+	thermalViolationSec float64
+}
+
+// workspace carries the result-neutral buffers one worker reuses across
+// its vehicles: the sim scratch (forecast window) and nothing else — the
+// plant and controller are rebuilt per vehicle because both are stateful
+// and vehicle purity is the determinism contract.
+type workspace struct {
+	scratch sim.Scratch
+}
+
+// newController builds a fresh controller for a methodology (controllers
+// are stateful, so every vehicle gets its own).
+func newController(method policy.Methodology, horizon int) (sim.Controller, error) {
+	if method == policy.MethodologyOTEM {
+		cfg := core.DefaultConfig()
+		cfg.Horizon = horizon
+		return core.New(cfg)
+	}
+	return policy.ByMethodology(method)
+}
+
+// lowSoCGuard forces an opportunistic charge on an unplugged day once the
+// state of charge falls this low — a real fleet visits a public charger
+// rather than strand the vehicle.
+const lowSoCGuard = 0.35
+
+// rollVehicle simulates one vehicle's whole horizon. It is a pure function
+// of (spec, index): the workspace only supplies reusable buffers that
+// cannot influence the outcome.
+func rollVehicle(ctx context.Context, spec Spec, index int, ws *workspace) (vehicleOutcome, error) {
+	sc := drawScenario(spec, index)
+	out := vehicleOutcome{family: familyIndex(&sc)}
+
+	cycle, err := drivecycle.Synthesize(sc.synth)
+	if err != nil {
+		return out, fmt.Errorf("fleet: vehicle %d synth: %w", index, err)
+	}
+	requests := vehicle.MidSizeEV().PowerSeriesAt(cycle, sc.ambientK)
+
+	plant, err := sim.NewPlant(sim.PlantConfig{UltracapF: spec.UltracapF, Ambient: sc.ambientK})
+	if err != nil {
+		return out, fmt.Errorf("fleet: vehicle %d plant: %w", index, err)
+	}
+	out.peakTempK = plant.Loop.BatteryTemp
+	chg := charger.Default()
+
+	for _, kind := range sc.days {
+		if kind == dayVacation {
+			continue
+		}
+		ctrl, err := newController(spec.Method, spec.Horizon)
+		if err != nil {
+			return out, fmt.Errorf("fleet: vehicle %d controller: %w", index, err)
+		}
+		startSoC := plant.HEES.Battery.SoC
+		res, err := sim.RunContext(ctx, plant, ctrl, requests, sim.Config{
+			Horizon: spec.Horizon,
+			Scratch: &ws.scratch,
+		})
+		if err != nil {
+			return out, fmt.Errorf("fleet: vehicle %d route: %w", index, err)
+		}
+		out.steps += res.Steps
+		out.fallbackSteps += res.FallbackSteps
+		out.thermalViolationSec += res.ThermalViolationSec
+		out.qlossPct += res.QlossPct
+		out.energyJ += res.HEESEnergyJ
+		if res.MaxBatteryTemp > out.peakTempK {
+			out.peakTempK = res.MaxBatteryTemp
+		}
+
+		// Overnight charging per the plug state: plugged days restore the
+		// morning state of charge, pre-vacation days fill the pack, and an
+		// unplugged day still charges when the guard trips.
+		target := 0.0
+		switch kind {
+		case dayPlugged:
+			target = startSoC
+		case dayPreVacation:
+			target = 1.0
+		case dayUnplugged:
+			if plant.HEES.Battery.SoC < lowSoCGuard {
+				target = startSoC
+			}
+		}
+		if target > plant.HEES.Battery.SoC {
+			cr, err := charger.Charge(plant.HEES.Battery, plant.Loop, chg, target, sc.ambientK)
+			if err != nil {
+				return out, fmt.Errorf("fleet: vehicle %d charge: %w", index, err)
+			}
+			out.qlossPct += cr.AgingPct
+			out.energyJ += cr.WallEnergyJ
+			if cr.PeakTempK > out.peakTempK {
+				out.peakTempK = cr.PeakTempK
+			}
+		}
+	}
+	return out, nil
+}
+
+// Chunking: vehicles are partitioned into at most maxChunks contiguous
+// ranges of at least minChunkVehicles each. The partition depends only on
+// Spec.Vehicles — never on the worker count — so the merge order (chunk
+// index order) is identical at any parallelism, and peak memory is
+// O(chunks) accumulators, a constant w.r.t. fleet size.
+const (
+	maxChunks        = 128
+	minChunkVehicles = 8
+)
+
+// numChunks returns the chunk count for a fleet size.
+func numChunks(vehicles int) int {
+	n := (vehicles + minChunkVehicles - 1) / minChunkVehicles
+	if n > maxChunks {
+		n = maxChunks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// chunkBounds returns chunk c's half-open vehicle range [lo, hi).
+func chunkBounds(vehicles, chunks, c int) (lo, hi int) {
+	lo = c * vehicles / chunks
+	hi = (c + 1) * vehicles / chunks
+	return lo, hi
+}
+
+// Run executes the fleet on the pool and returns the merged result.
+// progress, when non-nil, is called after each finished chunk with the
+// cumulative number of completed vehicles; calls are serialized.
+func Run(ctx context.Context, spec Spec, pool *runner.Pool, progress func(vehiclesDone, vehiclesTotal int)) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if pool == nil {
+		pool = runner.New()
+	}
+
+	chunks := numChunks(spec.Vehicles)
+	var mu sync.Mutex
+	done := 0
+	report := func(n int) {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		done += n
+		progress(done, spec.Vehicles)
+		mu.Unlock()
+	}
+
+	parts, err := runner.Map(ctx, pool, chunks, func(ctx context.Context, c int) (*Result, error) {
+		lo, hi := chunkBounds(spec.Vehicles, chunks, c)
+		acc := newAccumulator(spec)
+		var ws workspace
+		for i := lo; i < hi; i++ {
+			o, err := rollVehicle(ctx, spec, i, &ws)
+			if err != nil {
+				return nil, err
+			}
+			acc.add(o)
+		}
+		report(hi - lo)
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	final := newAccumulator(spec)
+	final.Days = spec.Days
+	for _, p := range parts {
+		final.merge(p)
+	}
+	return final, nil
+}

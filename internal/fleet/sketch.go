@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Sketch is a deterministic streaming quantile summary in the
+// Munro–Paterson compactor family: values land in a level-0 buffer of
+// capacity k; a full buffer is sorted and every other element is promoted
+// to the next level with doubled weight. Memory is O(k·log(n/k)) no matter
+// how many values stream through, each compaction of weight-w items
+// perturbs any rank by at most w, and the running ErrorBound accumulates
+// exactly those perturbations — so Quantile is provably within
+// ErrorBound() ranks of the exact answer, a bound the property tests
+// assert directly.
+//
+// Everything about the sketch is deterministic: identical insertion order
+// gives bit-identical state (the compactors alternate which half they
+// keep instead of flipping coins), and Merge folds another sketch in a
+// caller-chosen order — the fleet engine merges per-chunk sketches in
+// chunk index order, which is what makes the 1-worker and N-worker runs
+// byte-identical.
+//
+// A Sketch is single-goroutine state, like an optimize Workspace: give
+// each worker its own and merge afterwards.
+type Sketch struct {
+	k      int
+	levels [][]float64 // levels[l] holds items of weight 1<<l
+	// keepOdd[l] alternates the compaction phase at level l so the
+	// systematic rank bias of always keeping one parity cancels out.
+	keepOdd []bool
+
+	count    uint64
+	sum      float64
+	min, max float64
+	// errBound accumulates the worst-case rank perturbation: one
+	// weight-(1<<l) term per compaction at level l.
+	errBound uint64
+}
+
+// defaultSketchK is the buffer size used by the fleet aggregator: with
+// 10k vehicles the worst-case bound is ≈ n·log₂(n/k)/k ≈ 2 % of ranks,
+// far tighter in practice, for ~10 KiB per metric.
+const defaultSketchK = 256
+
+// NewSketch returns an empty sketch with level capacity k (minimum 8;
+// rounded up to even so compactions always halve exactly).
+func NewSketch(k int) *Sketch {
+	if k < 8 {
+		k = 8
+	}
+	if k%2 == 1 {
+		k++
+	}
+	return &Sketch{k: k, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Count returns how many values were added (merges included).
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the running sum, for means.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Min returns the exact minimum of the added values (+Inf when empty).
+func (s *Sketch) Min() float64 { return s.min }
+
+// Max returns the exact maximum of the added values (−Inf when empty).
+func (s *Sketch) Max() float64 { return s.max }
+
+// Mean returns Sum/Count (0 for an empty sketch).
+func (s *Sketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// ErrorBound is the worst-case rank error of Quantile, in ranks.
+func (s *Sketch) ErrorBound() uint64 { return s.errBound }
+
+// Size reports the number of retained values across all levels — the
+// memory footprint the O(workers)-not-O(fleet) test gates.
+func (s *Sketch) Size() int {
+	n := 0
+	for _, lv := range s.levels {
+		n += len(lv)
+	}
+	return n
+}
+
+// Add inserts one value.
+func (s *Sketch) Add(v float64) {
+	s.count++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if len(s.levels) == 0 {
+		s.grow(0)
+	}
+	s.levels[0] = append(s.levels[0], v)
+	if len(s.levels[0]) >= s.k {
+		s.compact(0)
+	}
+}
+
+// grow ensures level l exists.
+func (s *Sketch) grow(l int) {
+	for len(s.levels) <= l {
+		s.levels = append(s.levels, make([]float64, 0, s.k))
+		s.keepOdd = append(s.keepOdd, false)
+	}
+}
+
+// compact sorts level l and promotes half of its even-length prefix,
+// weight-doubled, to level l+1 (an odd leftover stays at level l, so the
+// total weight always equals the count exactly). Cascades upward while
+// buffers remain full. Each compaction of weight-w items perturbs any
+// rank by at most w, whatever the buffer length.
+func (s *Sketch) compact(l int) {
+	for ; l < len(s.levels) && len(s.levels[l]) >= s.k; l++ {
+		buf := s.levels[l]
+		sort.Float64s(buf)
+		m := len(buf) &^ 1 // largest even prefix
+		s.grow(l + 1)
+		start := 0
+		if s.keepOdd[l] {
+			start = 1
+		}
+		s.keepOdd[l] = !s.keepOdd[l]
+		for i := start; i < m; i += 2 {
+			s.levels[l+1] = append(s.levels[l+1], buf[i])
+		}
+		if m < len(buf) {
+			// Keep the one leftover at its own weight.
+			s.levels[l] = append(buf[:0], buf[m])
+		} else {
+			s.levels[l] = buf[:0]
+		}
+		s.errBound += 1 << uint(l)
+	}
+}
+
+// Merge folds other into s level by level, compacting where the combined
+// buffers overflow. Counts, sums and extrema combine exactly; the error
+// bounds add, plus any compactions the merge itself triggers. other is
+// left unchanged.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	s.count += other.count
+	s.sum += other.sum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.errBound += other.errBound
+	for l, lv := range other.levels {
+		if len(lv) == 0 {
+			continue
+		}
+		s.grow(l)
+		s.levels[l] = append(s.levels[l], lv...)
+		if len(s.levels[l]) >= s.k {
+			s.compact(l)
+		}
+	}
+}
+
+// weighted is the flattened (value, weight) view used by queries.
+type weighted struct {
+	v float64
+	w uint64
+}
+
+// flatten gathers all retained items, sorted by value (ties keep the
+// deterministic level-then-position order, so the result is replayable).
+func (s *Sketch) flatten() []weighted {
+	items := make([]weighted, 0, s.Size())
+	for l, lv := range s.levels {
+		w := uint64(1) << uint(l)
+		for _, v := range lv {
+			items = append(items, weighted{v: v, w: w})
+		}
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].v < items[j].v })
+	return items
+}
+
+// Quantile returns the value whose cumulative weight first reaches
+// phi·Count, clamping phi into [0, 1]. Exact for phi 0 and 1 (the tracked
+// extrema); otherwise within ErrorBound ranks of the exact quantile.
+func (s *Sketch) Quantile(phi float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if phi <= 0 {
+		return s.min
+	}
+	if phi >= 1 {
+		return s.max
+	}
+	target := phi * float64(s.count)
+	var cum float64
+	for _, it := range s.flatten() {
+		cum += float64(it.w)
+		if cum >= target {
+			return it.v
+		}
+	}
+	return s.max
+}
+
+// AppendDigest folds the sketch's complete state into the digest: counts,
+// sums, extrema and every retained (value, weight) pair in deterministic
+// order. Two sketches digest equal exactly when a deterministic replay
+// would produce them identically — the serve smoke test and the
+// parallelism-identity gate compare these.
+func (s *Sketch) AppendDigest(d *Digest) {
+	d.Uint64(s.count)
+	d.Float(s.sum)
+	d.Float(s.min)
+	d.Float(s.max)
+	d.Uint64(s.errBound)
+	for l, lv := range s.levels {
+		d.Uint64(uint64(l))
+		d.Uint64(uint64(len(lv)))
+		for _, v := range lv {
+			d.Float(v)
+		}
+	}
+}
+
+// Digest accumulates a 64-bit FNV-1a digest over primitive fields; it is
+// the stable fingerprint the fleet results expose on the wire.
+type Digest struct{ h hash.Hash64 }
+
+// NewDigest returns an empty digest accumulator.
+func NewDigest() *Digest { return &Digest{h: fnv.New64a()} }
+
+// Uint64 folds one unsigned value into the digest, little-endian.
+func (d *Digest) Uint64(v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+	d.h.Write(b[:]) // hash.Hash documents Write never returns an error
+}
+
+// Float folds one float's IEEE-754 bit pattern into the digest.
+func (d *Digest) Float(v float64) { d.Uint64(math.Float64bits(v)) }
+
+// Text folds a string into the digest, length-prefixed.
+func (d *Digest) Text(s string) {
+	d.Uint64(uint64(len(s)))
+	d.h.Write([]byte(s)) // never errors, see Uint64
+}
+
+// Sum renders the digest as a fixed-width hex string.
+func (d *Digest) Sum() string { return fmt.Sprintf("%016x", d.h.Sum64()) }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/canon"
 	"repro/internal/charger"
 	"repro/internal/core/floats"
 	"repro/internal/sim"
@@ -43,6 +44,13 @@ type Config struct {
 	// ChargeAmbient is the parking-lot temperature for charging sessions,
 	// kelvin (default 298).
 	ChargeAmbient float64
+	// Horizon is the forecast window handed to the controller each
+	// simulated route (default 40, the paper's MPC horizon).
+	Horizon int
+	// Progress, when non-nil, is called after each simulated block with
+	// the routes driven so far and the MaxRoutes bound. The projection is
+	// sequential, so calls are too.
+	Progress func(routesDone, maxRoutes int)
 }
 
 func (c Config) withDefaults() Config {
@@ -61,7 +69,35 @@ func (c Config) withDefaults() Config {
 	if floats.Zero(c.ChargeAmbient) {
 		c.ChargeAmbient = 298
 	}
+	if c.Horizon < 1 {
+		c.Horizon = 40
+	}
 	return c
+}
+
+// AppendCanonical implements the canonical-encoding contract (see package
+// canon) over every field that influences the deterministic outcome; the
+// Progress callback is deliberately excluded.
+func (c Config) AppendCanonical(dst []byte) []byte {
+	c = c.withDefaults()
+	dst = append(dst, "otem.lifetime"...)
+	dst = canon.Float(dst, "e", c.EndOfLifePct)
+	dst = canon.Int(dst, "b", c.BlockRoutes)
+	dst = canon.Int(dst, "x", c.MaxRoutes)
+	dst = canon.Float(dst, "g", c.ResistanceGrowthPerPct)
+	dst = canon.Float(dst, "d", c.RouteKm)
+	dst = canon.Int(dst, "h", c.Horizon)
+	dst = canon.Float(dst, "a", c.ChargeAmbient)
+	if c.Charger != nil {
+		dst = canon.Float(dst, "cc", c.Charger.CRate)
+		dst = canon.Float(dst, "cv", c.Charger.VmaxPerCell)
+		dst = canon.Float(dst, "co", c.Charger.CutoffCRate)
+		dst = canon.Float(dst, "ce", c.Charger.Efficiency)
+		dst = canon.Float(dst, "cd", c.Charger.MaxDuration)
+	} else {
+		dst = canon.Str(dst, "cc", "none")
+	}
+	return dst
 }
 
 // Point is one sampled state of the projection.
@@ -149,7 +185,7 @@ func ProjectContext(ctx context.Context, newPlant PlantFactory, newController Co
 			return nil, err
 		}
 		startSoC := plant.HEES.Battery.SoC
-		res, err := sim.RunContext(ctx, plant, ctrl, requests, sim.Config{Horizon: 40})
+		res, err := sim.RunContext(ctx, plant, ctrl, requests, sim.Config{Horizon: cfg.Horizon})
 		if err != nil {
 			return nil, fmt.Errorf("lifetime: route at %.2f%% loss: %w", loss, err)
 		}
@@ -181,6 +217,9 @@ func ProjectContext(ctx context.Context, newPlant PlantFactory, newController Co
 		loss += rate * float64(block)
 		routes += block
 		out.AccelerationFactor = rate / firstRate
+		if cfg.Progress != nil {
+			cfg.Progress(routes, cfg.MaxRoutes)
+		}
 	}
 	out.RoutesToEOL = routes
 	out.DistanceToEOLKm = float64(routes) * cfg.RouteKm

@@ -1,0 +1,23 @@
+// Package fleet stands in for the fleet simulator: its import path ends
+// in internal/fleet, so calls that transitively reach nondeterminism must
+// be reported here — even when the global-source use hides in another
+// package. Seeded per-vehicle generators pass.
+package fleet
+
+import "repro/internal/lint/testdata/src/detflow/helpers"
+
+// Ambient reaches the global math/rand source through the helper package.
+func Ambient() float64 {
+	return 265 + helpers.Draw() // want `call to nondeterministic Draw`
+}
+
+// Plugged reaches time.Now two cross-package hops away.
+func Plugged() bool {
+	return helpers.Wrap() > 0 // want `call to nondeterministic Wrap`
+}
+
+// Roll is deterministic end to end: the per-vehicle generator is seeded,
+// so the cross-package call carries no NondetFact.
+func Roll(vehicle int64) float64 {
+	return helpers.Seeded(vehicle) + helpers.Pure(2)
+}

@@ -20,40 +20,48 @@ const (
 )
 
 // cacheEntry is one LRU slot.
-type cacheEntry struct {
+type cacheEntry[T any] struct {
 	key string
-	res otem.Result
+	res T
 }
 
 // flight is one in-progress computation identical requests wait on.
-type flight struct {
+type flight[T any] struct {
 	done chan struct{} // closed when res/err are final
-	res  otem.Result
+	res  T
 	err  error
 }
 
-// resultCache is the deterministic result cache plus singleflight
-// coalescer. Simulations are pure functions of the canonical request key
-// (detflow enforces the absence of hidden nondeterminism), so a cached
-// Result is exactly what a re-run would produce and coalescing identical
-// in-flight requests onto one computation is sound.
+// cache is the deterministic result cache plus singleflight coalescer,
+// generic over the cached value: the simulate endpoints store otem.Result,
+// the fleet endpoint *otem.FleetResult. Runs are pure functions of the
+// canonical request key (detflow enforces the absence of hidden
+// nondeterminism), so a cached value is exactly what a re-run would
+// produce and coalescing identical in-flight requests onto one
+// computation is sound.
 //
-// Cached Results may hold a *Trace shared between responses; everything
-// downstream treats results as read-only.
-type resultCache struct {
+// Cached values may hold shared pointers (a Result's *Trace, a whole
+// *FleetResult); everything downstream treats them as read-only.
+type cache[T any] struct {
 	mu     sync.Mutex
 	max    int // ≤ 0 disables storage; coalescing still applies
 	lru    *list.List
 	byKey  map[string]*list.Element
-	flight map[string]*flight
+	flight map[string]*flight[T]
 }
 
-func newResultCache(maxEntries int) *resultCache {
-	return &resultCache{
+// resultCache is the simulate-endpoint instantiation, kept as a named
+// type because tests and the Server wire it pervasively.
+type resultCache = cache[otem.Result]
+
+func newResultCache(maxEntries int) *resultCache { return newCache[otem.Result](maxEntries) }
+
+func newCache[T any](maxEntries int) *cache[T] {
+	return &cache[T]{
 		max:    maxEntries,
 		lru:    list.New(),
 		byKey:  make(map[string]*list.Element),
-		flight: make(map[string]*flight),
+		flight: make(map[string]*flight[T]),
 	}
 }
 
@@ -63,11 +71,11 @@ func newResultCache(maxEntries int) *resultCache {
 // to every coalesced waiter and never cached. A waiter whose ctx fires
 // first abandons with the ctx error; the leader's computation continues
 // for the others.
-func (c *resultCache) do(ctx context.Context, key string, fn func() (otem.Result, error)) (otem.Result, cacheOutcome, error) {
+func (c *cache[T]) do(ctx context.Context, key string, fn func() (T, error)) (T, cacheOutcome, error) {
 	c.mu.Lock()
 	if e, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(e)
-		res := e.Value.(*cacheEntry).res
+		res := e.Value.(*cacheEntry[T]).res
 		c.mu.Unlock()
 		return res, cacheHit, nil
 	}
@@ -77,10 +85,11 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (otem.Result
 		case <-f.done:
 			return f.res, cacheCoalesced, f.err
 		case <-ctx.Done():
-			return otem.Result{}, cacheCoalesced, fmt.Errorf("serve: abandoned coalesced wait: %w", ctx.Err())
+			var zero T
+			return zero, cacheCoalesced, fmt.Errorf("serve: abandoned coalesced wait: %w", ctx.Err())
 		}
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[T]{done: make(chan struct{})}
 	c.flight[key] = f
 	c.mu.Unlock()
 
@@ -98,44 +107,45 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (otem.Result
 
 // get reads one stored entry, refreshing its recency (the /v1/batch
 // per-spec fast path, which bypasses the coalescer).
-func (c *resultCache) get(key string) (otem.Result, bool) {
+func (c *cache[T]) get(key string) (T, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.byKey[key]
 	if !ok {
-		return otem.Result{}, false
+		var zero T
+		return zero, false
 	}
 	c.lru.MoveToFront(e)
-	return e.Value.(*cacheEntry).res, true
+	return e.Value.(*cacheEntry[T]).res, true
 }
 
 // put stores one computed entry (the /v1/batch write path).
-func (c *resultCache) put(key string, res otem.Result) {
+func (c *cache[T]) put(key string, res T) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.store(key, res)
 }
 
 // store inserts under the LRU bound; the caller holds c.mu.
-func (c *resultCache) store(key string, res otem.Result) {
+func (c *cache[T]) store(key string, res T) {
 	if c.max <= 0 {
 		return
 	}
 	if e, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(e)
-		e.Value.(*cacheEntry).res = res
+		e.Value.(*cacheEntry[T]).res = res
 		return
 	}
-	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	c.byKey[key] = c.lru.PushFront(&cacheEntry[T]{key: key, res: res})
 	for c.lru.Len() > c.max {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		delete(c.byKey, oldest.Value.(*cacheEntry[T]).key)
 	}
 }
 
 // len reports the number of stored entries (test hook).
-func (c *resultCache) len() int {
+func (c *cache[T]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()

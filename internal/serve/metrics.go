@@ -40,6 +40,7 @@ type metrics struct {
 	inflightSimulate atomic.Int64
 	inflightBatch    atomic.Int64
 	inflightStream   atomic.Int64
+	inflightFleet    atomic.Int64
 
 	// Cache outcome counters (see resultCache).
 	cacheHits      atomic.Int64
@@ -64,6 +65,8 @@ func (m *metrics) inflightGauge(endpoint string) *atomic.Int64 {
 		return &m.inflightBatch
 	case "stream":
 		return &m.inflightStream
+	case "fleet":
+		return &m.inflightFleet
 	}
 	return nil
 }
@@ -154,6 +157,7 @@ func (m *metrics) writeProm(w io.Writer, inflightTotal, queued int64) error {
 	appendf("# HELP otem_serve_inflight Requests currently being handled, by endpoint.\n")
 	appendf("# TYPE otem_serve_inflight gauge\n")
 	appendf("otem_serve_inflight{endpoint=\"batch\"} %d\n", m.inflightBatch.Load())
+	appendf("otem_serve_inflight{endpoint=\"fleet\"} %d\n", m.inflightFleet.Load())
 	appendf("otem_serve_inflight{endpoint=\"simulate\"} %d\n", m.inflightSimulate.Load())
 	appendf("otem_serve_inflight{endpoint=\"stream\"} %d\n", m.inflightStream.Load())
 

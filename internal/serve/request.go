@@ -99,15 +99,69 @@ func resolveMethod(name string) otem.Methodology {
 	return otem.Methodology(name)
 }
 
-// cacheKey is the canonical encoding of a normalized RunSpec. Two
-// requests get the same key exactly when they describe the same
-// deterministic simulation, so the key is safe to cache and coalesce on.
-func cacheKey(spec otem.RunSpec) string {
-	return "v1|m=" + string(spec.Method) +
-		"|c=" + spec.Cycle +
-		"|r=" + strconv.Itoa(spec.Repeats) +
-		"|u=" + strconv.FormatFloat(spec.UltracapF, 'g', -1, 64) +
-		"|t=" + strconv.FormatBool(spec.Trace)
+// cacheKey is the canonical encoding of a normalized spec (RunSpec,
+// FleetSpec, …): the one code path shared with CLI JSON output and fleet
+// digests. Two requests get the same key exactly when they describe the
+// same deterministic computation, so the key is safe to cache and
+// coalesce on.
+func cacheKey(spec otem.CanonicalSpec) string {
+	return otem.Canonical(spec)
+}
+
+// FleetRequest is the wire form of POST /v1/fleet. Zero values select the
+// FleetSpec defaults (1 day, OTEM methodology, 25 kF bank, 600 s routes).
+type FleetRequest struct {
+	// Vehicles is the fleet size (required).
+	Vehicles int `json:"vehicles"`
+	// Days is how many daily routes each vehicle drives.
+	Days int `json:"days,omitempty"`
+	// Seed is the fleet master seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Method is a methodology name, matched case-insensitively.
+	Method string `json:"method,omitempty"`
+	// UltracapFarad is the ultracapacitor bank size.
+	UltracapFarad float64 `json:"ultracap_farad,omitempty"`
+	// RouteSeconds is the target duration of each synthesized route.
+	RouteSeconds float64 `json:"route_seconds,omitempty"`
+	// Horizon is the controller forecast window.
+	Horizon int `json:"horizon,omitempty"`
+}
+
+// normalize validates the request shape against the server's fleet limits
+// and returns the FleetSpec to execute.
+func (r FleetRequest) normalize(maxVehicles, maxDays int) (otem.FleetSpec, error) {
+	switch {
+	case r.Vehicles < 1:
+		return otem.FleetSpec{}, fmt.Errorf("%w: vehicles %d, must be >= 1", errBadRequest, r.Vehicles)
+	case r.Vehicles > maxVehicles:
+		return otem.FleetSpec{}, fmt.Errorf("%w: vehicles %d exceeds the limit %d", errBadRequest, r.Vehicles, maxVehicles)
+	case r.Days < 0:
+		return otem.FleetSpec{}, fmt.Errorf("%w: days %d is negative", errBadRequest, r.Days)
+	case r.Days > maxDays:
+		return otem.FleetSpec{}, fmt.Errorf("%w: days %d exceeds the limit %d", errBadRequest, r.Days, maxDays)
+	case r.UltracapFarad < 0:
+		return otem.FleetSpec{}, fmt.Errorf("%w: ultracap_farad %g is negative", errBadRequest, r.UltracapFarad)
+	case r.RouteSeconds < 0:
+		return otem.FleetSpec{}, fmt.Errorf("%w: route_seconds %g is negative", errBadRequest, r.RouteSeconds)
+	case r.Horizon < 0:
+		return otem.FleetSpec{}, fmt.Errorf("%w: horizon %d is negative", errBadRequest, r.Horizon)
+	}
+	spec := otem.FleetSpec{
+		Vehicles:     r.Vehicles,
+		Days:         r.Days,
+		Seed:         r.Seed,
+		Method:       resolveMethod(r.Method),
+		UltracapF:    r.UltracapFarad,
+		RouteSeconds: r.RouteSeconds,
+		Horizon:      r.Horizon,
+	}
+	if r.Method == "" {
+		spec.Method = "" // keep the FleetSpec default (OTEM)
+	}
+	if err := spec.Validate(); err != nil {
+		return otem.FleetSpec{}, fmt.Errorf("%w: %w", errBadRequest, err)
+	}
+	return spec, nil
 }
 
 // fromQuery builds a SimulateRequest from stream-endpoint query

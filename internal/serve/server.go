@@ -50,6 +50,16 @@ type Config struct {
 	// repeats scale simulation time linearly, so this is the knob that
 	// keeps a single request from monopolizing a slot.
 	MaxRepeats int
+	// MaxFleetVehicles bounds the fleet size of one /v1/fleet request
+	// (default 512); vehicles scale simulation time linearly.
+	MaxFleetVehicles int
+	// MaxFleetDays bounds the per-vehicle day count of one /v1/fleet
+	// request (default 7).
+	MaxFleetDays int
+	// FleetParallelism bounds the worker-pool fan-out inside one /v1/fleet
+	// request (default GOMAXPROCS). The result is bit-identical at any
+	// setting — only latency changes.
+	FleetParallelism int
 	// Log receives serving events and isolated panics; nil selects the
 	// process-default logger.
 	Log *log.Logger
@@ -90,6 +100,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxRepeats < 1 {
 		c.MaxRepeats = 100
 	}
+	if c.MaxFleetVehicles < 1 {
+		c.MaxFleetVehicles = 512
+	}
+	if c.MaxFleetDays < 1 {
+		c.MaxFleetDays = 7
+	}
+	if c.FleetParallelism < 1 {
+		c.FleetParallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -99,8 +118,11 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 	cache   *resultCache
-	gate    *admission
-	mux     *http.ServeMux
+	// fleetCache is the /v1/fleet instantiation of the same LRU +
+	// singleflight machinery, sharing the CacheSize bound.
+	fleetCache *cache[*otem.FleetResult]
+	gate       *admission
+	mux        *http.ServeMux
 	// pool executes one admitted request's simulation with the runner's
 	// panic isolation; global concurrency is bounded by gate, not here.
 	pool *runner.Pool
@@ -110,23 +132,28 @@ type Server struct {
 	runSim func(ctx context.Context, spec otem.RunSpec) (otem.Result, error)
 	// runBatch executes one admitted batch grid; tests substitute stubs.
 	runBatch func(ctx context.Context, specs []otem.RunSpec, opts ...otem.BatchOption) ([]otem.BatchResult, error)
+	// runFleet executes one admitted fleet spec; tests substitute stubs.
+	runFleet func(ctx context.Context, spec otem.FleetSpec, opts ...otem.Option) (*otem.FleetResult, error)
 }
 
 // New builds a Server from the configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		metrics:  newMetrics(),
-		cache:    newResultCache(cfg.CacheSize),
-		gate:     newAdmission(cfg.MaxInflight, cfg.MaxQueue),
-		pool:     runner.New(runner.Workers(1)),
-		runSim:   otem.RunContext,
-		runBatch: otem.RunBatch,
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		cache:      newResultCache(cfg.CacheSize),
+		fleetCache: newCache[*otem.FleetResult](cfg.CacheSize),
+		gate:       newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		pool:       runner.New(runner.Workers(1)),
+		runSim:     otem.RunContext,
+		runBatch:   otem.RunBatch,
+		runFleet:   otem.RunFleet,
 	}
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("POST /v1/fleet", s.instrument("fleet", s.handleFleet))
 	mux.Handle("GET /v1/simulate/stream", s.instrument("stream", s.handleStream))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -333,6 +360,53 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: entries})
+}
+
+// handleFleet implements POST /v1/fleet: one Monte Carlo fleet run under
+// a single admission slot (the fan-out inside is bounded separately by
+// FleetParallelism), cached and coalesced on the canonical spec encoding
+// — fleets are deterministic at any parallelism, so a cached result is
+// exactly what a re-run would produce.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	var req FleetRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := req.normalize(s.cfg.MaxFleetVehicles, s.cfg.MaxFleetDays)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, outcome, err := s.fleetCache.do(ctx, cacheKey(spec), func() (*otem.FleetResult, error) {
+		if err := s.gate.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.gate.release()
+		out, err := runner.Map(ctx, s.pool, 1, func(ctx context.Context, _ int) (*otem.FleetResult, error) {
+			return s.runFleet(ctx, spec, otem.WithParallelism(s.cfg.FleetParallelism))
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	})
+	switch outcome {
+	case cacheHit:
+		s.metrics.cacheHits.Add(1)
+	case cacheMiss:
+		s.metrics.cacheMisses.Add(1)
+	case cacheCoalesced:
+		s.metrics.cacheCoalesced.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", string(outcome))
+	writeJSON(w, http.StatusOK, otem.EncodeFleet(res))
 }
 
 // handleStream implements GET /v1/simulate/stream: one traced run,

@@ -20,41 +20,6 @@ type BatchResult struct {
 	Err error
 }
 
-// batchSettings is the resolved option set of one batch call.
-type batchSettings struct {
-	parallelism int
-	progress    func(done, total int)
-}
-
-func newBatchSettings(opts []BatchOption) batchSettings {
-	var s batchSettings
-	for _, o := range opts {
-		o(&s)
-	}
-	return s
-}
-
-// pool builds the worker pool the settings describe.
-func (s batchSettings) pool() *runner.Pool {
-	return runner.New(runner.Workers(s.parallelism), runner.Progress(s.progress))
-}
-
-// BatchOption tunes RunBatch and ExploreDesignsContext.
-type BatchOption func(*batchSettings)
-
-// WithParallelism bounds the number of specs simulated concurrently.
-// Zero or negative selects the default, GOMAXPROCS.
-func WithParallelism(n int) BatchOption {
-	return func(s *batchSettings) { s.parallelism = n }
-}
-
-// WithProgress registers a callback invoked after each spec completes,
-// with the number done so far and the batch total. Calls are serialized
-// and done is strictly increasing, so the callback needs no locking.
-func WithProgress(fn func(done, total int)) BatchOption {
-	return func(s *batchSettings) { s.progress = fn }
-}
-
 // RunBatch executes the specs concurrently on a bounded worker pool and
 // returns one BatchResult per spec, in spec order — the ordering (and the
 // numbers) are independent of the parallelism. A failing spec records its
@@ -63,7 +28,7 @@ func WithProgress(fn func(done, total int)) BatchOption {
 // it matches ErrCanceled (and ctx.Err()) via errors.Is and the returned
 // slice is nil.
 func RunBatch(ctx context.Context, specs []RunSpec, opts ...BatchOption) ([]BatchResult, error) {
-	pool := newBatchSettings(opts).pool()
+	pool := newSettings(opts).pool()
 	return runner.Map(ctx, pool, len(specs),
 		func(ctx context.Context, i int) (BatchResult, error) {
 			br := BatchResult{Spec: specs[i]}

@@ -12,7 +12,9 @@
 //     PowerSeries,
 //   - simulate a route with Simulate / SimulateContext, run a canned paper
 //     experiment with Run / RunContext, or fan a whole grid of experiments
-//     out on the bounded worker pool with RunBatch.
+//     out on the bounded worker pool with RunBatch,
+//   - roll a Monte Carlo fleet of seeded stochastic vehicle scenarios into
+//     streaming quantile sketches with RunFleet.
 //
 // A minimal session:
 //
@@ -43,6 +45,36 @@
 // Only cancellation aborts the whole batch: when ctx is canceled RunBatch
 // stops dispatching, in-flight simulations abandon mid-route, and the
 // returned error matches ErrCanceled via errors.Is.
+//
+// # Fleet Monte Carlo
+//
+// RunFleet steps a fleet of vehicles through per-vehicle seeded scenarios
+// (usage class, climate band, synthesized daily routes, plug-in and
+// vacation behaviour) and aggregates the outcomes into constant-memory
+// quantile sketches — memory stays O(workers) however large the fleet:
+//
+//	res, err := otem.RunFleet(ctx,
+//		otem.FleetSpec{Vehicles: 10000, Seed: 42, Method: otem.MethodologyParallel},
+//		otem.WithParallelism(8))
+//	fmt.Println(res.Qloss.Quantile(0.95), res.Digest())
+//
+// The same spec and seed produce a bit-identical result (same Digest, same
+// otem.fleet/v1 JSON from EncodeFleet) at any parallelism.
+//
+// # Options
+//
+// All run entry points accept the same functional Option values —
+// WithTrace, WithHorizon, WithContext, WithParallelism, WithProgress.
+// Each entry point consumes the options that apply to it and ignores the
+// rest, so one option slice can parameterise a Simulate, a RunBatch and a
+// RunFleet alike. SimOption and BatchOption are aliases of Option.
+//
+// # Canonical spec encoding
+//
+// RunSpec, DSEConfig, LifetimeConfig and FleetSpec implement
+// CanonicalSpec; Canonical(spec) renders the versioned, default-resolved
+// string identity used for serve cache keys, fleet digests and the spec
+// field of JSON results.
 //
 // # Context and cancellation
 //

@@ -1,0 +1,124 @@
+package otem
+
+// This file defines the stable wire schema for fleet results, following
+// the otem.result/v1 discipline in json.go: cmd/otem-sim -fleet -json and
+// the otem-serve /v1/fleet endpoint both emit FleetResultJSON, so the
+// schema cannot drift between surfaces. The field set, the json tags and
+// the Schema version string are covered by a golden-file test; changing
+// any of them is a wire-format break and must bump FleetSchemaVersion.
+
+// FleetSchemaVersion identifies the wire format emitted by EncodeFleet.
+const FleetSchemaVersion = "otem.fleet/v1"
+
+// fleetQuantiles are the distribution probe points every sketch is
+// rendered at on the wire.
+var fleetQuantiles = []float64{0, 0.05, 0.25, 0.5, 0.75, 0.95, 1}
+
+// QuantilesJSON is the wire rendering of one quantile sketch: summary
+// moments, the standard probe points and the sketch's own worst-case rank
+// error certificate.
+type QuantilesJSON struct {
+	// Count is how many values the distribution summarises.
+	Count uint64 `json:"count"`
+	// Mean, Min and Max are exact (tracked outside the sketch).
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// P05..P95 are sketch quantiles at φ = 0.05, 0.25, 0.5, 0.75, 0.95.
+	P05 float64 `json:"p05"`
+	P25 float64 `json:"p25"`
+	P50 float64 `json:"p50"`
+	P75 float64 `json:"p75"`
+	P95 float64 `json:"p95"`
+	// MaxRankError is the sketch's worst-case rank error certificate: each
+	// reported quantile is within this many ranks of the exact one.
+	MaxRankError uint64 `json:"max_rank_error"`
+}
+
+// FleetFamilyJSON is one scenario family's share of the fleet.
+type FleetFamilyJSON struct {
+	// Family is the "usage/climate" label.
+	Family string `json:"family"`
+	// Vehicles counts fleet members that drew this family.
+	Vehicles uint64 `json:"vehicles"`
+	// QlossPct is the capacity-loss distribution within the family.
+	QlossPct QuantilesJSON `json:"qloss_pct"`
+}
+
+// FleetResultJSON is the stable JSON encoding of a FleetResult. The
+// distributions are per-vehicle totals over the simulated horizon; unit-
+// bearing fields carry the unit in the name.
+type FleetResultJSON struct {
+	// Schema is always FleetSchemaVersion.
+	Schema string `json:"schema"`
+	// Spec is the canonical encoding of the (defaulted) specification that
+	// produced the result — the same string the serve cache keys on.
+	Spec string `json:"spec"`
+	// Digest fingerprints the complete result state: two runs of the same
+	// spec produce the same digest at any parallelism.
+	Digest string `json:"digest"`
+	// Vehicles and Days echo the fleet shape; Steps is the total number of
+	// simulated drive steps across the fleet.
+	Vehicles int    `json:"vehicles"`
+	Days     int    `json:"days"`
+	Steps    uint64 `json:"steps"`
+	// QlossPct distributes per-vehicle capacity loss (percent of rated).
+	QlossPct QuantilesJSON `json:"qloss_pct"`
+	// EnergyJoule distributes per-vehicle total energy (driving + wall).
+	EnergyJoule QuantilesJSON `json:"energy_joule"`
+	// PeakTempKelvin distributes per-vehicle peak battery temperature.
+	PeakTempKelvin QuantilesJSON `json:"peak_temp_kelvin"`
+	// Families breaks QlossPct down by scenario family, fixed order.
+	Families []FleetFamilyJSON `json:"families"`
+	// FallbackSteps counts infeasible-action fallbacks across the fleet.
+	FallbackSteps uint64 `json:"fallback_steps"`
+	// ThermalViolationSeconds sums constraint-C1 violation time.
+	ThermalViolationSeconds float64 `json:"thermal_violation_seconds"`
+}
+
+// encodeSketch renders a sketch at the standard probe points.
+func encodeSketch(s *QuantileSketch) QuantilesJSON {
+	q := QuantilesJSON{
+		Count:        s.Count(),
+		Mean:         s.Mean(),
+		Min:          s.Min(),
+		Max:          s.Max(),
+		MaxRankError: s.ErrorBound(),
+	}
+	if s.Count() == 0 {
+		// Empty sketches report zeros, not ±Inf extrema (JSON has no Inf).
+		q.Min, q.Max = 0, 0
+		return q
+	}
+	q.P05 = s.Quantile(fleetQuantiles[1])
+	q.P25 = s.Quantile(fleetQuantiles[2])
+	q.P50 = s.Quantile(fleetQuantiles[3])
+	q.P75 = s.Quantile(fleetQuantiles[4])
+	q.P95 = s.Quantile(fleetQuantiles[5])
+	return q
+}
+
+// EncodeFleet converts a FleetResult into the stable wire schema.
+func EncodeFleet(r *FleetResult) FleetResultJSON {
+	out := FleetResultJSON{
+		Schema:                  FleetSchemaVersion,
+		Spec:                    Canonical(r.Spec),
+		Digest:                  r.Digest(),
+		Vehicles:                r.Vehicles,
+		Days:                    r.Days,
+		Steps:                   r.Steps,
+		QlossPct:                encodeSketch(r.Qloss),
+		EnergyJoule:             encodeSketch(r.EnergyJ),
+		PeakTempKelvin:          encodeSketch(r.PeakTempK),
+		FallbackSteps:           r.FallbackSteps,
+		ThermalViolationSeconds: r.ThermalViolationSec,
+	}
+	for _, f := range r.Families {
+		out.Families = append(out.Families, FleetFamilyJSON{
+			Family:   f.Name,
+			Vehicles: f.Vehicles,
+			QlossPct: encodeSketch(f.Qloss),
+		})
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package otem_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/otem"
+)
+
+// goldenFleetSpec is a small deterministic fleet for the schema tests:
+// tiny enough to run in milliseconds, large enough to populate several
+// scenario families.
+func goldenFleetSpec() otem.FleetSpec {
+	return otem.FleetSpec{
+		Vehicles:     24,
+		Days:         2,
+		Seed:         7,
+		Method:       otem.MethodologyParallel,
+		RouteSeconds: 120,
+	}
+}
+
+// TestFleetJSONGolden pins the otem.fleet/v1 wire schema: field set, json
+// tags, value formatting and the schema version string. A diff here is a
+// wire-format break — if it is intentional, bump FleetSchemaVersion and
+// regenerate with `go test ./otem -run FleetJSONGolden -update`.
+func TestFleetJSONGolden(t *testing.T) {
+	res, err := otem.RunFleet(context.Background(), goldenFleetSpec())
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(otem.EncodeFleet(res)); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	path := filepath.Join("testdata", "fleet_v1.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("stable JSON schema drifted from golden file %s\n-- got --\n%s\n-- want --\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestFleetJSONParallelIdentity is the facade-level determinism gate of
+// the issue: the encoded otem.fleet/v1 bytes must be identical at
+// parallelism 1 and NumCPU.
+func TestFleetJSONParallelIdentity(t *testing.T) {
+	spec := goldenFleetSpec()
+	encode := func(workers int) []byte {
+		t.Helper()
+		res, err := otem.RunFleet(context.Background(), spec, otem.WithParallelism(workers))
+		if err != nil {
+			t.Fatalf("RunFleet(%d workers): %v", workers, err)
+		}
+		raw, err := json.Marshal(otem.EncodeFleet(res))
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return raw
+	}
+	seq, par := encode(1), encode(runtime.NumCPU())
+	if !bytes.Equal(seq, par) {
+		t.Errorf("otem.fleet/v1 bytes differ across worker counts:\n seq %s\n par %s", seq, par)
+	}
+}
+
+// TestEncodeFleetSchemaInvariants checks what the golden file cannot: the
+// version constant, spec/digest linkage, family ordering and lossless
+// round-tripping through the json tags.
+func TestEncodeFleetSchemaInvariants(t *testing.T) {
+	spec := goldenFleetSpec()
+	res, err := otem.RunFleet(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	wire := otem.EncodeFleet(res)
+	if wire.Schema != otem.FleetSchemaVersion {
+		t.Errorf("Schema = %q, want %q", wire.Schema, otem.FleetSchemaVersion)
+	}
+	if wire.Spec != otem.Canonical(spec) {
+		t.Errorf("Spec = %q, want the canonical encoding %q", wire.Spec, otem.Canonical(spec))
+	}
+	if wire.Digest != res.Digest() {
+		t.Errorf("Digest = %q, want %q", wire.Digest, res.Digest())
+	}
+	names := otem.FleetFamilyNames()
+	if len(wire.Families) != len(names) {
+		t.Fatalf("families = %d, want %d", len(wire.Families), len(names))
+	}
+	for i, f := range wire.Families {
+		if f.Family != names[i] {
+			t.Errorf("family[%d] = %q, want %q", i, f.Family, names[i])
+		}
+	}
+
+	raw, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back otem.FleetResultJSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back, wire) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, wire)
+	}
+}

@@ -118,77 +118,14 @@ func PowerSeries(cycleName string, repeats int) ([]float64, error) {
 	return vehicle.MidSizeEV().PowerSeries(c), nil
 }
 
-// simSettings is the resolved option set of one Simulate call.
-type simSettings struct {
-	trace   bool
-	horizon int
-	ctx     context.Context
-}
-
-// SimOption tunes Simulate and SimulateContext. Options are WithTrace,
-// WithHorizon and WithContext; the deprecated SimOptions struct also
-// satisfies the interface.
-type SimOption interface {
-	applySim(*simSettings)
-}
-
-type simOptionFunc func(*simSettings)
-
-func (f simOptionFunc) applySim(s *simSettings) { f(s) }
-
-// WithTrace captures per-step signals into Result.Trace.
-func WithTrace() SimOption {
-	return simOptionFunc(func(s *simSettings) { s.trace = true })
-}
-
-// WithHorizon overrides the forecast window handed to the controller
-// (default: the OTEM default horizon). Non-positive values are ignored.
-func WithHorizon(n int) SimOption {
-	return simOptionFunc(func(s *simSettings) {
-		if n > 0 {
-			s.horizon = n
-		}
-	})
-}
-
-// WithContext makes the simulation cooperatively cancelable: when ctx is
-// canceled the run abandons mid-route with an error matching ErrCanceled.
-// SimulateContext is the same thing with the context as a leading argument.
-func WithContext(ctx context.Context) SimOption {
-	return simOptionFunc(func(s *simSettings) {
-		if ctx != nil {
-			s.ctx = ctx
-		}
-	})
-}
-
-// SimOptions tunes Simulate.
-//
-// Deprecated: pass functional options instead — WithTrace() for
-// RecordTrace, WithHorizon(n) for Horizon. The struct satisfies SimOption
-// so existing call sites keep working.
-type SimOptions struct {
-	// RecordTrace captures per-step signals into Result.Trace.
-	RecordTrace bool
-	// Horizon overrides the forecast window handed to the controller
-	// (defaults to the OTEM default horizon).
-	Horizon int
-}
-
-func (o SimOptions) applySim(s *simSettings) {
-	s.trace = o.RecordTrace
-	if o.Horizon > 0 {
-		s.horizon = o.Horizon
-	}
-}
-
 // Simulate runs the power-request series through the plant under the given
 // controller (the paper's Algorithm 1) and returns the route summary. The
-// plant is mutated in place.
+// plant is mutated in place. It consumes the WithTrace, WithHorizon and
+// WithContext options (see Option).
 func Simulate(plant *Plant, ctrl Controller, requests []float64, opts ...SimOption) (Result, error) {
-	s := simSettings{horizon: core.DefaultConfig().Horizon, ctx: context.Background()}
-	for _, o := range opts {
-		o.applySim(&s)
+	s := newSettings(opts)
+	if s.horizon < 1 {
+		s.horizon = core.DefaultConfig().Horizon
 	}
 	return sim.RunContext(s.ctx, plant, ctrl, requests, sim.Config{
 		RecordTrace: s.trace,
@@ -260,16 +197,30 @@ type LifetimeProjection = lifetime.Projection
 
 // ProjectLifetime projects the battery to end of life (20 % capacity loss)
 // driving the given request series repeatedly under a controller built by
-// newController, carrying capacity fade and impedance growth forward.
-func ProjectLifetime(plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig) (*LifetimeProjection, error) {
-	return ProjectLifetimeContext(context.Background(), plantCfg, newController, requests, cfg)
+// newController, carrying capacity fade and impedance growth forward. It
+// consumes the WithContext, WithHorizon and WithProgress options (progress
+// ticks are routes driven, out of LifetimeConfig.MaxRoutes).
+func ProjectLifetime(plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig, opts ...Option) (*LifetimeProjection, error) {
+	s := newSettings(opts)
+	return projectLifetime(s.ctx, s, plantCfg, newController, requests, cfg)
 }
 
 // ProjectLifetimeContext is ProjectLifetime with cooperative cancellation:
 // the projection is sequential (each block feeds the accumulated fade
 // forward), but canceling ctx aborts the in-flight route simulation with
-// an error matching ErrCanceled.
-func ProjectLifetimeContext(ctx context.Context, plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig) (*LifetimeProjection, error) {
+// an error matching ErrCanceled. The explicit context wins over any
+// WithContext option.
+func ProjectLifetimeContext(ctx context.Context, plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig, opts ...Option) (*LifetimeProjection, error) {
+	return projectLifetime(ctx, newSettings(opts), plantCfg, newController, requests, cfg)
+}
+
+func projectLifetime(ctx context.Context, s settings, plantCfg PlantConfig, newController func() (Controller, error), requests []float64, cfg LifetimeConfig) (*LifetimeProjection, error) {
+	if s.horizon > 0 {
+		cfg.Horizon = s.horizon
+	}
+	if s.progress != nil {
+		cfg.Progress = s.progress
+	}
 	return lifetime.ProjectContext(ctx,
 		lifetime.DefaultPlantFactory(plantCfg),
 		func() (sim.Controller, error) { return newController() },
@@ -285,13 +236,16 @@ type (
 
 // ExploreDesigns sweeps ultracapacitor size × cooler capacity under the
 // OTEM controller and extracts the cost-vs-capacity-loss Pareto frontier —
-// the design-space exploration the paper defers to future work.
-func ExploreDesigns(cfg DSEConfig) (*DSEResult, error) { return dse.Explore(cfg) }
+// the design-space exploration the paper defers to future work. It
+// consumes the WithContext, WithParallelism and WithProgress options
+// (progress ticks are grid points).
+func ExploreDesigns(cfg DSEConfig, opts ...Option) (*DSEResult, error) {
+	s := newSettings(opts)
+	return dse.ExploreContext(s.ctx, cfg, s.pool())
+}
 
-// ExploreDesignsContext is ExploreDesigns on the bounded worker pool: the
-// grid points run concurrently (WithParallelism and WithProgress apply),
-// and canceling ctx aborts the exploration with an error matching
-// ErrCanceled.
+// ExploreDesignsContext is ExploreDesigns with the context as an explicit
+// leading argument (which wins over any WithContext option).
 func ExploreDesignsContext(ctx context.Context, cfg DSEConfig, opts ...BatchOption) (*DSEResult, error) {
-	return dse.ExploreContext(ctx, cfg, newBatchSettings(opts).pool())
+	return dse.ExploreContext(ctx, cfg, newSettings(opts).pool())
 }

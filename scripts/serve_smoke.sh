@@ -49,7 +49,35 @@ if [ "$xcache" != "hit" ]; then
 fi
 echo "serve-smoke: cache hit ok"
 
+# Fleet round trip: a tiny Monte Carlo fleet must come back with the
+# otem.fleet/v1 schema and a deterministic digest, and the identical
+# request must be a cache hit carrying the same digest.
+fleet_body='{"vehicles":4,"seed":42,"method":"Parallel","route_seconds":60}'
+fleet_json=$(curl -fsS -X POST -d "$fleet_body" "$base/v1/fleet")
+echo "$fleet_json" | grep -q '"schema": "otem.fleet/v1"'
+digest1=$(echo "$fleet_json" | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+if [ -z "$digest1" ]; then
+    echo "serve-smoke: fleet response carried no digest" >&2
+    exit 1
+fi
+echo "serve-smoke: fleet ok (digest $digest1)"
+
+fleet_hdrs="$tmpdir/fleet_hdrs"
+fleet_json2=$(curl -fsS -D "$fleet_hdrs" -X POST -d "$fleet_body" "$base/v1/fleet")
+xcache=$(tr -d '\r' < "$fleet_hdrs" | sed -n 's/^X-Cache: //p')
+if [ "$xcache" != "hit" ]; then
+    echo "serve-smoke: expected fleet X-Cache: hit, got '$xcache'" >&2
+    exit 1
+fi
+digest2=$(echo "$fleet_json2" | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+if [ "$digest1" != "$digest2" ]; then
+    echo "serve-smoke: fleet digest changed across cache hit: $digest1 vs $digest2" >&2
+    exit 1
+fi
+echo "serve-smoke: fleet cache hit ok"
+
 curl -fsS "$base/metrics" | grep -q '^otem_serve_requests_total{code="200",endpoint="simulate"} 2$'
+curl -fsS "$base/metrics" | grep -q '^otem_serve_requests_total{code="200",endpoint="fleet"} 2$'
 echo "serve-smoke: metrics ok"
 
 kill -TERM "$pid"
