@@ -122,7 +122,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBench(*benchJSON, mod, pool, analyzers); err != nil {
+		if err := writeBench(*benchJSON, mod, analyzers); err != nil {
 			log.Println(err)
 			os.Exit(2)
 		}
@@ -174,48 +174,56 @@ type benchParallelRun struct {
 // benchRecord is the JSON document -benchjson writes: the sequential
 // reference driver timed once, then the parallel DAG scheduler at both
 // GOMAXPROCS=1 (scheduler overhead in isolation) and GOMAXPROCS=NumCPU
-// (real speedup). Recording both keeps the methodology honest — a single
-// number taken at an unknown processor count is not comparable across
-// machines.
+// (real speedup), mirroring the BENCH_sim/BENCH_serve methodology.
+// Recording both keeps the numbers honest — a single measurement taken at
+// an unknown processor count is not comparable across machines. SSANs is
+// the wall-clock time spent building the per-function SSA IR during the
+// best sequential round, so the cost of the value-flow layer stays visible
+// next to the total.
 type benchRecord struct {
 	NumCPU       int                `json:"num_cpu"`
 	Packages     int                `json:"packages"`
 	Analyzers    int                `json:"analyzers"`
 	Rounds       int                `json:"rounds"`
 	SequentialNs int64              `json:"sequential_ns"`
+	SSANs        int64              `json:"ssa_ns"`
 	Parallel     []benchParallelRun `json:"parallel"`
 	Findings     int                `json:"findings"`
 }
 
 // writeBench times both drivers over the loaded module (best of three
 // rounds each) and records the result. The parallel driver is measured at
-// GOMAXPROCS=1 and GOMAXPROCS=NumCPU; the previous setting is restored
-// before returning.
-func writeBench(path string, mod *lint.Module, pool *runner.Pool, analyzers []*lint.Analyzer) error {
+// GOMAXPROCS=1 and GOMAXPROCS=NumCPU with a fresh worker pool sized to
+// each setting (the shared pool would keep its creation-time width); the
+// previous GOMAXPROCS is restored before returning. Both settings are
+// always recorded, even when they coincide on a single-CPU machine.
+func writeBench(path string, mod *lint.Module, analyzers []*lint.Analyzer) error {
 	const rounds = 3
 	ctx := context.Background()
 
 	var seqBest time.Duration
+	var ssaBest int64
 	var findings int
 	for i := 0; i < rounds; i++ {
+		ssa0 := lint.SSABuildNanos()
 		t0 := time.Now()
 		fs := mod.Run(analyzers)
-		if d := time.Since(t0); i == 0 || d < seqBest {
+		d := time.Since(t0)
+		ssaD := lint.SSABuildNanos() - ssa0
+		if i == 0 || d < seqBest {
 			seqBest = d
+			ssaBest = ssaD
 		}
 		findings = len(fs)
 	}
 
-	procSettings := []int{1, runtime.NumCPU()}
-	if procSettings[1] == 1 {
-		procSettings = procSettings[:1]
-	}
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
 
 	var parallel []benchParallelRun
-	for _, procs := range procSettings {
+	for _, procs := range []int{1, runtime.NumCPU()} {
 		runtime.GOMAXPROCS(procs)
+		pool := runner.New(runner.Workers(procs))
 		var parBest time.Duration
 		for i := 0; i < rounds; i++ {
 			t0 := time.Now()
@@ -243,6 +251,7 @@ func writeBench(path string, mod *lint.Module, pool *runner.Pool, analyzers []*l
 		Analyzers:    len(analyzers),
 		Rounds:       rounds,
 		SequentialNs: seqBest.Nanoseconds(),
+		SSANs:        ssaBest,
 		Parallel:     parallel,
 		Findings:     findings,
 	}

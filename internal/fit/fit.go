@@ -45,8 +45,6 @@ func OCV(z, voc []float64) (OCVResult, error) {
 	if len(z) != len(voc) || len(z) < 8 {
 		return OCVResult{}, fmt.Errorf("%w: %d/%d OCV samples (need ≥8, matched)", ErrBadData, len(z), len(voc))
 	}
-	var best OCVResult
-	bestSSE := math.Inf(1)
 	// Inner solve for a fixed exponential rate k.
 	solve := func(k float64) (OCVResult, float64) {
 		a := linalg.NewMatrix(len(z), 6)
@@ -75,12 +73,11 @@ func OCV(z, voc []float64) (OCVResult, error) {
 	}
 	// Golden-section search over the (negative) exponential rate; the
 	// Chen–Rincón-Mora family has k in roughly [−60, −5].
-	k, sse := goldenMin(func(k float64) float64 {
+	k, _ := goldenMin(func(k float64) float64 {
 		_, s := solve(k)
 		return s
 	}, -60, -5, 1e-3)
-	best, bestSSE = solve(k)
-	_ = sse
+	best, bestSSE := solve(k)
 	best.RMSE = math.Sqrt(bestSSE / float64(len(z)))
 	return best, nil
 }

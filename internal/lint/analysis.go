@@ -5,6 +5,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lint/ir"
 )
 
 // Analyzer describes one static check. The shape deliberately mirrors
@@ -48,7 +53,59 @@ type Pass struct {
 	// facts is the driver-wide fact store; nil in a Pass built without a
 	// driver (all fact operations become no-ops / misses).
 	facts *factStore
+	// irs caches the per-function SSA/CFG intermediate representation.
+	// The driver shares one cache across every analyzer of a package, so
+	// detflow, errflow, nilness and unusedwrite all reason over the same
+	// IR and each function is lowered exactly once.
+	irs *irCache
 }
+
+// FuncIR returns the value-flow IR (CFG + dominators + SSA, see
+// repro/internal/lint/ir) for one function declaration of this package,
+// building it on first request and caching it for every later analyzer of
+// the same driver run. It returns nil for declarations without a body.
+func (p *Pass) FuncIR(fd *ast.FuncDecl) *ir.Func {
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
+	if p.irs == nil {
+		// Driverless Pass (unit tests): build uncached.
+		return ir.Build(p.TypesInfo, fd)
+	}
+	return p.irs.get(p.TypesInfo, fd)
+}
+
+// irCache is the per-package IR store shared across analyzers.
+type irCache struct {
+	mu    sync.Mutex
+	funcs map[*ast.FuncDecl]*ir.Func
+}
+
+func newIRCache() *irCache {
+	return &irCache{funcs: make(map[*ast.FuncDecl]*ir.Func)}
+}
+
+func (c *irCache) get(info *types.Info, fd *ast.FuncDecl) *ir.Func {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.funcs[fd]; ok {
+		return f
+	}
+	t0 := time.Now()
+	f := ir.Build(info, fd)
+	ssaBuildNanos.Add(time.Since(t0).Nanoseconds())
+	c.funcs[fd] = f
+	return f
+}
+
+// ssaBuildNanos accumulates wall-clock time spent lowering functions to
+// SSA across the whole process, for the lint benchmark's ssa_ns field.
+var ssaBuildNanos atomic.Int64
+
+// SSABuildNanos returns the cumulative nanoseconds this process has spent
+// building per-function SSA/CFG IR. The -benchjson path records the delta
+// across a measured run as ssa_ns.
+func SSABuildNanos() int64 { return ssaBuildNanos.Load() }
 
 // Reportf reports a finding at pos with a Sprintf-formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {

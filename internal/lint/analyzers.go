@@ -10,8 +10,10 @@ func All() []*Analyzer {
 		ErrWrapCheck,
 		FloatCompare,
 		NakedGoroutine,
+		Nilness,
 		NoPanic,
 		UnitMix,
+		UnusedWrite,
 	}
 }
 

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+
+	"repro/internal/lint/ir"
 )
 
 // NondetFact marks a function as (transitively) nondeterministic: its body
 // reaches the global math/rand source or time.Now through some chain of
-// static calls. The fact is exported on the function object, so dependent
+// static calls, tainted function values, or draws from tainted
+// generators. The fact is exported on the function object, so dependent
 // packages learn about nondeterminism buried arbitrarily deep in their
 // dependencies without re-analyzing them.
 type NondetFact struct {
@@ -22,40 +25,50 @@ func (*NondetFact) AFact() {}
 
 func (f *NondetFact) String() string { return f.Reason }
 
-// DetFlow extends detrand across package boundaries.
+// DetFlow extends detrand across package boundaries and across value flow.
 //
-// detrand is intraprocedural: it flags a time.Now literally written inside
-// internal/sim. But determinism is a whole-program property — a sim
-// function calling a helper in another package that calls time.Now is just
-// as unreplayable, and invisible to a per-package AST walk. DetFlow builds
-// the call-graph closure with facts: every package analyzed exports a
-// NondetFact for each function that reaches the global math/rand source or
-// time.Now (directly, through same-package calls, or through calls to
-// functions already marked by the fact in dependencies), and the
-// deterministic packages (internal/sim, internal/mpc, internal/policy)
-// report any call to a marked function.
+// detrand is intraprocedural and syntactic: it flags a time.Now literally
+// written inside internal/sim. But determinism is a whole-program property
+// of *values*, not call sites. DetFlow tracks it two ways, both over the
+// shared SSA IR (internal/lint/ir):
+//
+//   - Call-graph closure (as before): every package exports a NondetFact
+//     for each function that reaches the global math/rand source or
+//     time.Now, and the deterministic packages report calls to marked
+//     functions.
+//   - Value flow (new): nondeterminism is a property carried by values. A
+//     *rand.Rand seeded from a constant or a SplitMix64-mixed vehicle
+//     index is clean wherever it flows — through locals, struct fields
+//     and branch joins. A handle on the global source or the wall clock
+//     is tainted even when laundered through a struct field, a closure,
+//     or a function-typed variable; stores export TaintFacts so the
+//     laundering may cross package boundaries. Calls through tainted
+//     function values and draws from tainted generators are reported.
 var DetFlow = &Analyzer{
 	Name: "detflow",
 	Doc: `forbid transitive nondeterminism in the deterministic packages
 
-A function in internal/sim, internal/mpc or internal/policy must not call
-— at any depth, across packages — a function that reaches the global
-math/rand source or time.Now. detrand catches the direct uses; detflow
-propagates "reaches nondeterminism" facts along the package DAG and flags
-the call sites that import it. Thread a seeded *rand.Rand (or simulated
-time) down the call chain instead.`,
+A function in internal/sim, internal/mpc, internal/policy or internal/fleet
+must not reach — at any depth, across packages, or laundered through
+struct fields, closures and function values — the global math/rand source
+or time.Now. detrand catches the direct uses; detflow propagates
+"reaches nondeterminism" facts along the package DAG and tracks tainted
+values through the SSA-based value-flow IR, flagging the call sites that
+import them. A *rand.Rand seeded from a constant or a per-vehicle
+SplitMix64 hash is deterministic and passes wherever it flows. Thread a
+seeded *rand.Rand (or simulated time) down the call chain instead.`,
 	Run:       runDetFlow,
-	FactTypes: []Fact{(*NondetFact)(nil)},
+	FactTypes: []Fact{(*NondetFact)(nil), (*TaintFact)(nil)},
 }
 
 func runDetFlow(pass *Pass) error {
-	// Pass 1: for every function declared in this package, find direct
-	// nondeterminism and record static calls to other functions.
+	// Function-level state: reason a declared function is nondeterministic
+	// to call, "" while (still) believed clean.
 	type funcInfo struct {
-		reason string        // non-empty once known nondeterministic
-		calls  []*types.Func // same-package callees, pending propagation
+		reason string
 	}
 	infos := make(map[*types.Func]*funcInfo)
+	decls := make(map[*types.Func]*ast.FuncDecl)
 	var order []*types.Func
 
 	for _, file := range pass.Files {
@@ -68,97 +81,147 @@ func runDetFlow(pass *Pass) error {
 			if !ok {
 				continue
 			}
-			fi := &funcInfo{}
-			infos[obj] = fi
+			infos[obj] = &funcInfo{}
+			decls[obj] = fd
 			order = append(order, obj)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := staticCallee(pass.TypesInfo, call)
-				if callee == nil {
-					return true
-				}
-				if fi.reason == "" {
-					if r := directNondetReason(callee); r != "" {
-						fi.reason = r
-						return true
-					}
-				}
-				if callee.Pkg() == pass.Pkg {
-					fi.calls = append(fi.calls, callee)
-				} else {
-					// Cross-package callee: consult the fact exported
-					// when the dependency was analyzed.
-					var fact NondetFact
-					if fi.reason == "" && pass.ImportObjectFact(callee, &fact) {
-						fi.reason = fmt.Sprintf("calls %s.%s (which %s)", callee.Pkg().Path(), callee.Name(), fact.Reason)
-					}
-				}
-				return true
-			})
 		}
 	}
 
-	// Pass 2: propagate nondeterminism through same-package calls to a
-	// fixpoint (the call graph may have cycles; iteration count is bounded
-	// by the number of functions).
-	for changed := true; changed; {
-		changed = false
+	funcReason := func(fn *types.Func) string {
+		if fi, ok := infos[fn]; ok {
+			return fi.reason
+		}
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			var fact NondetFact
+			if pass.ImportObjectFact(fn, &fact) {
+				return fact.Reason
+			}
+		}
+		return ""
+	}
+	eng := newTaintEngine(pass, funcReason)
+
+	// Package fixpoint: function reasons and stored-value taints feed each
+	// other — a constructor storing a wall-clock handle into a field makes
+	// the field's readers nondeterministic, which in turn taints whatever
+	// *they* store. Both sets grow monotonically, so iteration terminates;
+	// memos are dropped each round because a cached "clean" may be stale.
+	for round := 0; ; round++ {
+		changed := false
+		eng.resetMemos()
 		for _, obj := range order {
 			fi := infos[obj]
 			if fi.reason != "" {
 				continue
 			}
-			for _, callee := range fi.calls {
-				if cfi, ok := infos[callee]; ok && cfi.reason != "" {
-					fi.reason = fmt.Sprintf("calls %s (which %s)", callee.Name(), cfi.reason)
+			fd := decls[obj]
+			irf := pass.FuncIR(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fi.reason != "" {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if r := eng.callEffect(irf, call); r != "" {
+						fi.reason = r
+						changed = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+		// Stores into fields and package-level vars, in function bodies
+		// and in package-level initializers.
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if fd.Body == nil {
+						continue
+					}
+					if eng.scanStores(pass.FuncIR(fd), fd.Body) {
+						changed = true
+					}
+					continue
+				}
+				if eng.scanStores(nil, decl) {
 					changed = true
-					break
 				}
 			}
 		}
+		if !changed || round > len(order)+len(eng.objTaint)+8 {
+			break
+		}
 	}
 
-	// Pass 3: export facts so dependents see through this package, and —
-	// inside the deterministic scope — report every call whose callee is
-	// known nondeterministic. Direct uses of the banned functions are
-	// detrand's findings, not repeated here.
+	// Export facts so dependents see through this package.
 	for _, obj := range order {
 		if fi := infos[obj]; fi.reason != "" {
 			pass.ExportObjectFact(obj, &NondetFact{Reason: fi.reason})
 		}
 	}
+	for obj, reason := range eng.objTaint {
+		pass.ExportObjectFact(obj, &TaintFact{Reason: reason})
+	}
+
+	// Inside the deterministic scope, report every call that performs or
+	// launders nondeterminism. Direct uses of the banned functions are
+	// detrand's findings, not repeated here.
 	if !inDetrandScope(pass.Pkg.Path()) {
 		return nil
 	}
+	eng.resetMemos()
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		for _, decl := range file.Decls {
+			var irf *ir.Func
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				irf = pass.FuncIR(fd)
 			}
-			callee := staticCallee(pass.TypesInfo, call)
-			if callee == nil || directNondetReason(callee) != "" {
-				return true
-			}
-			var reason string
-			if fi, ok := infos[callee]; ok {
-				reason = fi.reason
-			} else if callee.Pkg() != pass.Pkg {
-				var fact NondetFact
-				if pass.ImportObjectFact(callee, &fact) {
-					reason = fact.Reason
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					reportNondetCall(pass, eng, irf, call, funcReason)
 				}
-			}
-			if reason != "" {
-				pass.Reportf(call.Pos(), "call to nondeterministic %s in deterministic package %s: %s %s; thread a seeded *rand.Rand or simulated time instead", callee.Name(), pass.Pkg.Path(), callee.Name(), reason)
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 	return nil
+}
+
+// reportNondetCall files the detflow finding for one call site in a
+// deterministic package, if any. Three shapes:
+//
+//   - a static call to a function known (locally or by fact) to reach
+//     nondeterminism;
+//   - a method call on a receiver whose value derives from the global
+//     source or the wall clock (a smuggled generator handle);
+//   - a call through a nondeterministic function value (a laundered
+//     rand.Float64, a wall-clock closure, a tainted field of function
+//     type).
+func reportNondetCall(pass *Pass, eng *taintEngine, fn *ir.Func, call *ast.CallExpr, funcReason func(*types.Func) string) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	callee := staticCallee(pass.TypesInfo, call)
+	if callee != nil {
+		if directNondetReason(callee) != "" {
+			return // detrand reports direct uses
+		}
+		if r := funcReason(callee); r != "" {
+			pass.Reportf(call.Pos(), "call to nondeterministic %s in deterministic package %s: %s %s; thread a seeded *rand.Rand or simulated time instead", callee.Name(), pass.Pkg.Path(), callee.Name(), r)
+			return
+		}
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if r := eng.expr(fn, sel.X); r != "" {
+					pass.Reportf(call.Pos(), "call to %s on a nondeterministically derived receiver in deterministic package %s: receiver %s; thread a seeded *rand.Rand or simulated time instead", callee.Name(), pass.Pkg.Path(), r)
+				}
+			}
+		}
+		return
+	}
+	if r := eng.expr(fn, call.Fun); r != "" {
+		pass.Reportf(call.Pos(), "call through nondeterministic function value in deterministic package %s: value %s; thread a seeded *rand.Rand or simulated time instead", pass.Pkg.Path(), r)
+	}
 }
 
 // staticCallee resolves a call expression to the *types.Func it invokes

@@ -27,24 +27,88 @@
 //   - detrand: no global math/rand or time.Now inside internal/sim,
 //     internal/mpc, internal/policy — replay determinism is a tested
 //     property.
-//   - detflow: the same determinism contract, transitively — a helper
-//     anywhere in the module that reaches global rand or time.Now (at
-//     any call depth) must not be called from the deterministic scope.
+//   - detflow: the same determinism contract, transitively and as a
+//     value property — a helper anywhere in the module that reaches
+//     global rand or time.Now (at any call depth) must not be called
+//     from the deterministic scope, and neither may a *rand.Rand or
+//     func value derived from those sources, even laundered through a
+//     struct field, closure or function value.
 //   - errflow: errors returned by this module's own APIs must not be
-//     discarded as bare call / defer / go statements; functions proven
-//     to always return nil are exempt.
+//     discarded — as bare call / defer / go statements, or as dead
+//     stores no path reads before overwrite; functions proven always-nil
+//     through the value flow (assignments, phi joins, tuple forwarding,
+//     naked returns of named results) are exempt.
 //   - unitmix: additive arithmetic and comparisons must not mix
 //     identifiers whose names carry conflicting unit suffixes (tempK +
 //     limitC, powerW > energyJ); convert through internal/units first.
+//   - nilness: no guaranteed-nil dereferences and no nil checks the
+//     branch-refined value flow has already decided.
+//   - unusedwrite: no stores whose value is overwritten or dies on
+//     every path before a read (dead error stores stay with errflow).
 //
-// The last three are cross-package dataflow analyses built on Facts:
-// serializable claims attached to objects or packages (NondetFact,
-// NilErrorFact, UnitFact) that an analyzer exports while analyzing a
-// dependency and imports while analyzing a dependent. In the standalone
-// driver the facts live in an in-memory store keyed by (analyzer,
-// package path, object); under `go vet -vettool` they are gob-encoded
-// into .vetx files and flow between compilation units through the go
-// command's build cache, exactly like vet's own unitchecker facts.
+// detflow, errflow and unitmix are cross-package dataflow analyses
+// built on Facts: serializable claims attached to objects or packages
+// (NondetFact, TaintFact, NilErrorFact, UnitFact) that an analyzer
+// exports while analyzing a dependency and imports while analyzing a
+// dependent. In the standalone driver the facts live in an in-memory
+// store keyed by (analyzer, package path, object); under `go vet
+// -vettool` they are gob-encoded into .vetx files and flow between
+// compilation units through the go command's build cache, exactly like
+// vet's own unitchecker facts.
+//
+// # How value-flow analysis works
+//
+// detflow, errflow, nilness and unusedwrite share one intermediate
+// representation, built by repro/internal/lint/ir and cached per
+// function across analyzers by the driver (Pass.FuncIR):
+//
+//  1. CFG. Each function body is lowered to basic blocks of straight-line
+//     statements; if/for/range/switch/select/goto lower to explicit
+//     edges. A block ending in a condition expression with two successors
+//     branches on it, Succs[0] true.
+//  2. Dominators. The Cooper–Harvey–Kennedy iterative algorithm yields
+//     immediate dominators and dominance frontiers for reachable blocks.
+//  3. SSA. Local variables whose address never escapes (no explicit &x,
+//     no closure capture, no implicit pointer-receiver indirection) are
+//     "tracked": phi values are placed on dominance frontiers of their
+//     definition sites and every use identifier is renamed to the one
+//     definition (Param, Def, or Phi) reaching it. Untracked variables
+//     resolve to Unknown, which every analyzer treats as "no claim".
+//  4. Dataflow. A generic forward fixpoint driver (ir.Forward) visits
+//     reachable blocks in reverse postorder; the per-block transfer
+//     returns one fact per successor edge, which is how nilness refines
+//     "p == nil" into different facts on the two arms. Joins see
+//     per-predecessor edges so they can evaluate phis.
+//
+// On top of the IR, detflow runs a taint engine (taint.go) that answers
+// "is this value derived from a nondeterministic source?" with a
+// package-level fixpoint across functions, fields and package variables;
+// errflow proves "this expression is always nil" (a greatest-fixpoint
+// dual: optimistic through phi cycles); nilness and unusedwrite consume
+// the branch-refined facts and the IR's observedness relation directly.
+// Every analysis under-approximates on the same side: a finding is
+// proven, silence is not a proof.
+//
+// # Migrating from the syntactic detflow/errflow
+//
+// The value-flow rewrite keeps every old finding message, so existing
+// //lint:ignore directives keep suppressing what they suppressed. New
+// finding shapes (each suppressible the usual way, with the analyzer
+// name unchanged):
+//
+//   - "call to <m> on a nondeterministically derived receiver ..."
+//     (detflow: a rand handle reached the receiver through fields or
+//     assignments),
+//   - "call through nondeterministic function value ..." (detflow: a
+//     stored time.Now or closure over one),
+//   - "error assigned to <v> from <api> is never checked ..." (errflow:
+//     dead error store),
+//   - nilness and unusedwrite findings, new analyzers with their own
+//     //lint:ignore names.
+//
+// Functions that previously needed ignores because only a literal
+// `return nil` counted as infallible may shed them: always-nil is now
+// proven through the value flow.
 //
 // Because facts make package order matter, the parallel driver
 // (Module.RunParallel) schedules packages in topological waves over the

@@ -2,15 +2,19 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
+
+	"repro/internal/lint/ir"
 )
 
 // NilErrorFact marks a function whose error result is provably always nil:
-// every return statement supplies a literal nil (or the result of another
-// always-nil function) in the error position. Call sites in dependent
-// packages may then discard the error without a finding — the fact carries
-// the proof across the package boundary.
+// every return statement supplies a value the SSA value flow proves nil —
+// a literal nil, a variable that only ever held nil (through branches and
+// zero-valued declarations), or the result of another always-nil function.
+// Call sites in dependent packages may then discard the error without a
+// finding — the fact carries the proof across the package boundary.
 type NilErrorFact struct{}
 
 // AFact marks NilErrorFact as a Fact.
@@ -23,30 +27,42 @@ func (*NilErrorFact) String() string { return "always returns a nil error" }
 // the class of bug the facade's sentinel errors and the runner's
 // first-error propagation exist to prevent.
 //
-// A call whose result set includes an error may not appear as a bare
-// expression statement (or a bare defer/go call): the error must be
-// assigned and handled, or explicitly discarded with `_ =` where that is a
-// reviewed decision. Calls to functions carrying a NilErrorFact are
-// exempt, so plumbing helpers that structurally cannot fail do not force
-// busywork at every call site.
+// Two finding shapes, both over the shared SSA IR:
+//
+//   - A call whose result set includes an error may not appear as a bare
+//     expression statement (or a bare defer/go call).
+//   - An error assigned to a local variable — directly or through tuple
+//     assignment — must be observed before it dies or is overwritten;
+//     a never-read error definition is the same silent drop with an
+//     extra step.
+//
+// Assigning the error to a struct field counts as handling it: the
+// field's consumers own it from there. Explicit discards (`_ =`, blank
+// tuple positions) are reviewed decisions and stay legal. Calls to
+// functions carrying a NilErrorFact are exempt, so plumbing helpers that
+// structurally cannot fail do not force busywork at every call site.
 var ErrFlow = &Analyzer{
 	Name: "errflow",
 	Doc: `forbid discarding errors returned by module APIs
 
 A bare call statement f(x) whose callee returns an error silently drops
 failures the caller was meant to see (otem sentinel errors, solver
-failures, I/O). Assign and handle the error, discard it explicitly with
-"_ =" if the context justifies it, or suppress with //lint:ignore errflow
-<reason>. Functions proven to always return nil errors are exported as
-facts and exempt.`,
+failures, I/O); so does err := f(x) when no path ever reads err again.
+Assign and handle the error, discard it explicitly with "_ =" if the
+context justifies it, or suppress with //lint:ignore errflow <reason>.
+Functions proven always-nil through the value flow (every return's error
+position only ever holds nil) are exported as facts and exempt.`,
 	Run:       runErrFlow,
 	FactTypes: []Fact{(*NilErrorFact)(nil)},
 }
 
 func runErrFlow(pass *Pass) error {
 	// Pass 1: prove always-nil error returns for this package's functions
-	// (fixpoint over same-package tail calls, facts for dependencies).
+	// (fixpoint over same-package calls, facts for dependencies). The
+	// proof follows values: `var err error` stays nil until something
+	// can assign non-nil to it, across branches and joins.
 	type retInfo struct {
+		fd        *ast.FuncDecl
 		errPos    []int // indices of error results
 		returns   []*ast.ReturnStmt
 		alwaysNil bool
@@ -64,7 +80,7 @@ func runErrFlow(pass *Pass) error {
 				continue
 			}
 			sig := obj.Type().(*types.Signature)
-			ri := &retInfo{}
+			ri := &retInfo{fd: fd}
 			for i := 0; i < sig.Results().Len(); i++ {
 				if implementsError(sig.Results().At(i).Type()) {
 					ri.errPos = append(ri.errPos, i)
@@ -79,8 +95,6 @@ func runErrFlow(pass *Pass) error {
 		}
 	}
 
-	// nilReturn reports whether every error-position expression of every
-	// return statement is provably nil given the current fixpoint state.
 	isAlwaysNil := func(fn *types.Func) bool {
 		if ri, ok := infos[fn]; ok {
 			return ri.alwaysNil
@@ -88,35 +102,36 @@ func runErrFlow(pass *Pass) error {
 		var fact NilErrorFact
 		return fn.Pkg() != pass.Pkg && pass.ImportObjectFact(fn, &fact)
 	}
-	nilExprOrNilCall := func(e ast.Expr) bool {
-		if isNilExpr(pass.TypesInfo, e) {
-			return true
-		}
-		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
-			if callee := staticCallee(pass.TypesInfo, call); callee != nil {
-				return isAlwaysNil(callee)
-			}
-		}
-		return false
-	}
+	prover := &nilProver{pass: pass, isAlwaysNil: isAlwaysNil, busy: make(map[ir.Value]bool)}
+
+	// provablyNil reports whether every error-position expression of every
+	// return statement is provably nil given the current fixpoint state.
 	provablyNil := func(ri *retInfo) bool {
 		if len(ri.returns) == 0 {
 			return false // e.g. ends in panic or infinite loop: stay conservative
 		}
+		irf := pass.FuncIR(ri.fd)
 		for _, r := range ri.returns {
 			if len(r.Results) == 0 {
-				return false // naked return through named results
+				// Naked return: the named error results must be provably
+				// nil at this point; their reaching values are recorded by
+				// the IR as observed-at-return, but position-precise
+				// resolution needs the result objects.
+				if !prover.namedResultsNil(irf, ri.fd, r) {
+					return false
+				}
+				continue
 			}
 			if len(r.Results) == 1 && len(ri.errPos) >= 1 && ri.errPos[0] != 0 {
 				// return f() forwarding a tuple: the single expression
 				// stands for all results; require an always-nil callee.
-				if !nilExprOrNilCall(r.Results[0]) {
+				if !prover.expr(irf, r.Results[0]) {
 					return false
 				}
 				continue
 			}
 			for _, i := range ri.errPos {
-				if i >= len(r.Results) || !nilExprOrNilCall(r.Results[i]) {
+				if i >= len(r.Results) || !prover.expr(irf, r.Results[i]) {
 					return false
 				}
 			}
@@ -169,7 +184,174 @@ func runErrFlow(pass *Pass) error {
 			return true
 		})
 	}
+
+	// Pass 3: flag error definitions no path ever observes — the value
+	// dies or is overwritten unread. The observed set already closes over
+	// phi chains and treats named results as read at every return, so
+	// `if err != nil`, `return err`, `_ = err` and naked returns all count
+	// as handling.
+	for _, fn := range order {
+		reportDeadErrorStores(pass, infos[fn].fd, isAlwaysNil)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				if _, done := infos[obj]; done {
+					continue // already scanned above
+				}
+			}
+			reportDeadErrorStores(pass, fd, isAlwaysNil)
+		}
+	}
 	return nil
+}
+
+// reportDeadErrorStores files a finding for every unobserved definition of
+// an error-typed local whose value came from a fallible module-API call.
+func reportDeadErrorStores(pass *Pass, fd *ast.FuncDecl, isAlwaysNil func(*types.Func) bool) {
+	irf := pass.FuncIR(fd)
+	if irf == nil {
+		return
+	}
+	for _, d := range irf.Defs() {
+		if irf.Observed(d) || !implementsError(d.V.Type()) {
+			continue
+		}
+		var call *ast.CallExpr
+		if d.Rhs != nil {
+			call, _ = ast.Unparen(d.Rhs).(*ast.CallExpr)
+		} else if as, ok := d.Stmt.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			// Tuple assignment v, err := f().
+			call, _ = ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		}
+		if call == nil {
+			continue
+		}
+		callee := staticCallee(pass.TypesInfo, call)
+		if callee == nil || !moduleAPI(callee.Pkg()) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok || !returnsError(tv.Type) || isAlwaysNil(callee) {
+			continue
+		}
+		pass.Reportf(d.Ident.Pos(), "error assigned to %s from %s.%s is never checked; handle it or discard explicitly with _ =", d.Ident.Name, callee.Pkg().Path(), callee.Name())
+	}
+}
+
+// nilProver decides "this expression is provably nil here" over the SSA
+// value flow.
+type nilProver struct {
+	pass        *Pass
+	isAlwaysNil func(*types.Func) bool
+	busy        map[ir.Value]bool
+}
+
+func (p *nilProver) expr(fn *ir.Func, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if isNilExpr(p.pass.TypesInfo, e) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if fn != nil {
+			if v, ok := p.pass.TypesInfo.Uses[id].(*types.Var); ok && fn.Tracked(v) {
+				if val := fn.ValueAt(id); val != nil {
+					return p.value(fn, val)
+				}
+			}
+		}
+		return false
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if callee := staticCallee(p.pass.TypesInfo, call); callee != nil {
+			return p.isAlwaysNil(callee)
+		}
+	}
+	return false
+}
+
+// value reports whether SSA value v can only ever be nil.
+func (p *nilProver) value(fn *ir.Func, v ir.Value) bool {
+	if p.busy[v] {
+		// Phi cycle: if every entry into the cycle proves nil, the values
+		// circulating inside it can only be nil too, so the back edge does
+		// not break the proof (greatest-fixpoint reading).
+		return true
+	}
+	p.busy[v] = true
+	defer delete(p.busy, v)
+	switch v := v.(type) {
+	case *ir.Param:
+		// A named result starts at its zero value; a parameter is
+		// whatever the caller passed.
+		return v.Result && nilZero(v.V.Type())
+	case *ir.Phi:
+		for _, e := range v.Edges {
+			if e == nil {
+				continue // unreachable predecessor
+			}
+			if !p.value(fn, e) {
+				return false
+			}
+		}
+		return true
+	case *ir.Def:
+		switch v.Kind {
+		case ir.DefDecl:
+			if v.Rhs == nil {
+				return nilZero(v.V.Type()) // var err error
+			}
+			return p.expr(fn, v.Rhs)
+		case ir.DefAssign:
+			if v.Tok != token.ASSIGN && v.Tok != token.DEFINE {
+				return false // op-assign cannot produce nil interfaces
+			}
+			if v.Rhs != nil {
+				return p.expr(fn, v.Rhs)
+			}
+			// Tuple assignment: nil iff the callee's error results are.
+			if as, ok := v.Stmt.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+					if callee := staticCallee(p.pass.TypesInfo, call); callee != nil {
+						return implementsError(v.V.Type()) && p.isAlwaysNil(callee)
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false // Unknown
+}
+
+// namedResultsNil reports whether, at a naked return, every error-typed
+// named result provably holds nil.
+func (p *nilProver) namedResultsNil(fn *ir.Func, fd *ast.FuncDecl, ret *ast.ReturnStmt) bool {
+	if fn == nil {
+		return false
+	}
+	obj, ok := p.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		rv := sig.Results().At(i)
+		if !implementsError(rv.Type()) {
+			continue
+		}
+		if rv.Name() == "" || !fn.Tracked(rv) {
+			return false
+		}
+		val, ok := fn.ReachingAt(ret, rv)
+		if !ok || !p.value(fn, val) {
+			return false
+		}
+	}
+	return true
 }
 
 // collectReturns gathers the return statements of a function body without
@@ -202,6 +384,15 @@ func returnsError(t types.Type) bool {
 		return false
 	}
 	return implementsError(t)
+}
+
+// nilZero reports whether t's zero value is nil.
+func nilZero(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
 }
 
 // moduleAPI reports whether pkg is part of this module (the otem facade,

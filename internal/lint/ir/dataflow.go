@@ -1,0 +1,178 @@
+package ir
+
+import "fmt"
+
+// Edge carries the dataflow fact arriving along one CFG edge, tagged with
+// the predecessor it came from — the join hook needs the predecessor
+// identity to evaluate phi values (phi edge i belongs to Preds[i]).
+type Edge[T any] struct {
+	Pred *Block
+	Out  T
+}
+
+// Forward runs a forward dataflow fixpoint over the reachable blocks of f
+// and returns the stable fact at the *entry* of every reachable block.
+//
+//   - entry is the boundary fact for the entry block.
+//   - join merges the facts arriving over the incoming edges of a block
+//     (it also evaluates the block's phis, which is why it sees Edges and
+//     not a pre-merged value). It is never called for the entry block.
+//   - flow transfers a block's entry fact through its Nodes and returns
+//     one fact per successor, in Succs order — branch refinement (the
+//     nilness analyzer's x == nil splits) is expressed by returning
+//     different facts on the true and false edges. Returning fewer facts
+//     than successors replicates the last fact (or the input when empty).
+//   - equal bounds the iteration: the driver stops when every block's
+//     entry fact is stable under it. The lattice must have finite height
+//     for the fixpoint to terminate.
+//
+// Blocks are visited in reverse postorder, which converges in one pass for
+// acyclic graphs and quickly for loops. Only predecessors that have been
+// visited contribute to a join (the optimistic initial state), so loop
+// back edges refine rather than destroy information.
+func Forward[T any](f *Func, entry T, join func(b *Block, in []Edge[T]) T, flow func(b *Block, in T) []T, equal func(a, b T) bool) map[*Block]T {
+	// Reachable blocks in reverse postorder.
+	var order []*Block
+	for _, b := range f.Blocks {
+		if f.Reachable(b) {
+			order = append(order, b)
+		}
+	}
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if order[j].rpo < order[i].rpo {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+
+	ins := make(map[*Block]T, len(order))
+	outs := make(map[*Block][]T, len(order))
+	visited := make(map[*Block]bool, len(order))
+
+	succOut := func(p *Block, succIdx int) T {
+		o := outs[p]
+		switch {
+		case succIdx < len(o):
+			return o[succIdx]
+		case len(o) > 0:
+			return o[len(o)-1]
+		default:
+			return ins[p]
+		}
+	}
+
+	for round := 0; ; round++ {
+		changed := false
+		for _, b := range order {
+			var in T
+			if b == f.Entry() {
+				in = entry
+			} else {
+				var edges []Edge[T]
+				for _, p := range b.Preds {
+					if !visited[p] {
+						continue
+					}
+					// A predecessor may reach b through several edges
+					// (rare, but e.g. degenerate switches); deliver one
+					// Edge per matching successor slot.
+					for si, s := range p.Succs {
+						if s == b {
+							edges = append(edges, Edge[T]{Pred: p, Out: succOut(p, si)})
+						}
+					}
+				}
+				if len(edges) == 0 {
+					continue // no processed predecessor yet
+				}
+				in = join(b, edges)
+			}
+			if visited[b] && equal(ins[b], in) {
+				continue
+			}
+			ins[b] = in
+			outs[b] = flow(b, in)
+			visited[b] = true
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		if round > len(order)*4+100 {
+			// Defensive bound: a non-converging lattice is a bug in the
+			// caller, not a reason to spin the driver forever.
+			break
+		}
+	}
+	return ins
+}
+
+// Sanity checks the structural invariants of a built Func; the fuzzer and
+// the driver tests rely on it. It verifies that every reachable block is
+// sealed: predecessor/successor edges are symmetric, the dominator tree
+// covers every reachable block, and each phi has exactly one edge per
+// predecessor with a value on every reachable incoming edge.
+func Sanity(f *Func) error {
+	if f == nil {
+		return nil
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("function %s has no blocks", f.Decl.Name.Name)
+	}
+	if !f.Reachable(f.Entry()) {
+		return fmt.Errorf("entry block unreachable")
+	}
+	index := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		index[b] = true
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !index[s] {
+				return fmt.Errorf("%s has foreign successor %s", b, s)
+			}
+			if !containsBlock(s.Preds, b) {
+				return fmt.Errorf("edge %s->%s missing from Preds", b, s)
+			}
+		}
+		for _, p := range b.Preds {
+			if !containsBlock(p.Succs, b) {
+				return fmt.Errorf("edge %s->%s missing from Succs", p, b)
+			}
+		}
+		if !f.Reachable(b) {
+			continue
+		}
+		if b != f.Entry() {
+			if b.idom == nil {
+				return fmt.Errorf("reachable block %s has no idom", b)
+			}
+			if !f.Reachable(b.idom) {
+				return fmt.Errorf("idom of %s is unreachable", b)
+			}
+		}
+		for _, phi := range b.Phis {
+			if len(phi.Edges) != len(b.Preds) {
+				return fmt.Errorf("%s: phi(%s) has %d edges for %d preds", b, phi.V.Name(), len(phi.Edges), len(b.Preds))
+			}
+			for i, p := range b.Preds {
+				if f.Reachable(p) && phi.Edges[i] == nil {
+					return fmt.Errorf("%s: phi(%s) missing edge value from reachable pred %s", b, phi.V.Name(), p)
+				}
+			}
+		}
+	}
+	// Every use and def the renaming recorded must reference a tracked var.
+	for id, v := range f.uses {
+		if v == nil {
+			return fmt.Errorf("use of %s resolved to nil value", id.Name)
+		}
+	}
+	for id, d := range f.defs {
+		if d == nil || d.Block == nil {
+			return fmt.Errorf("def of %s has no block", id.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package ir
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// FuzzSSABuild hammers CFG/SSA construction with arbitrary parseable Go
+// source and checks its invariants: Build never panics, and every function
+// that type-checks yields an IR where each block reachable from the entry
+// is sealed (dominator assigned, phi edges complete — Sanity's contract).
+// Inputs that do not parse or type-check are skipped, not failures: the
+// lint driver only ever hands Build type-checked syntax.
+func FuzzSSABuild(f *testing.F) {
+	seeds := []string{
+		`func f() {}`,
+		`func f(x int) int {
+	if x < 0 {
+		x = -x
+	}
+	return x
+}`,
+		`func f(xs []int) (total int) {
+	for i, x := range xs {
+		if x < 0 {
+			continue
+		}
+		total += i * x
+	}
+	return
+}`,
+		`func f(n int) int {
+	s := 0
+	i := 0
+loop:
+	if i < n {
+		s += i
+		i++
+		goto loop
+	}
+	return s
+}`,
+		`func f(v int) string {
+	switch {
+	case v > 10:
+		return "big"
+	case v > 5:
+		fallthrough
+	default:
+		return "small"
+	}
+}`,
+		`func f(ch chan int) int {
+	select {
+	case x := <-ch:
+		return x
+	default:
+		return 0
+	}
+}`,
+		`func f() int {
+	x := 1
+	defer func() { x = 2 }()
+	p := &x
+	_ = p
+	return x
+}`,
+		`func f(m map[string]int) {
+L:
+	for k := range m {
+		for i := 0; ; i++ {
+			if i > len(k) {
+				break L
+			}
+			if i == 3 {
+				continue L
+			}
+		}
+	}
+}`,
+		`func f() {
+	for {
+	}
+}`,
+		`func f(c bool) int {
+	if c {
+		return 1
+	}
+	panic("no")
+}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\n\n" + body
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		// No importer: files that import anything fail the check and skip,
+		// keeping the corpus focused on control-flow shapes.
+		conf := &types.Config{Error: func(error) {}}
+		if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+			t.Skip()
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn := Build(info, fd)
+			if fd.Body == nil {
+				if fn != nil {
+					t.Fatalf("Build returned IR for bodyless %s", fd.Name.Name)
+				}
+				continue
+			}
+			if fn == nil {
+				t.Fatalf("Build(%s) = nil for a function with a body", fd.Name.Name)
+			}
+			if err := Sanity(fn); err != nil {
+				t.Fatalf("Sanity(%s): %v\nsource:\n%s", fd.Name.Name, err, src)
+			}
+			// Every block node must be positioned inside the declaration —
+			// a cheap proxy for "the CFG only contains this function's
+			// statements".
+			for _, b := range fn.Blocks {
+				for _, n := range b.Nodes {
+					if n.Pos() < fd.Pos() || n.End() > fd.End() {
+						t.Fatalf("%s: block node %T outside the declaration", fd.Name.Name, n)
+					}
+				}
+			}
+		}
+	})
+}

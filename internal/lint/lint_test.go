@@ -31,6 +31,8 @@ func TestDetRandFixture(t *testing.T)        { RunFixture(t, DetRand, "detrand")
 func TestDetFlowFixture(t *testing.T)        { RunFixture(t, DetFlow, "detflow") }
 func TestErrFlowFixture(t *testing.T)        { RunFixture(t, ErrFlow, "errflow") }
 func TestUnitMixFixture(t *testing.T)        { RunFixture(t, UnitMix, "unitmix") }
+func TestNilnessFixture(t *testing.T)        { RunFixture(t, Nilness, "nilness") }
+func TestUnusedWriteFixture(t *testing.T)    { RunFixture(t, UnusedWrite, "unusedwrite") }
 
 // TestDirectives drives the suppression machinery (line, trailing, file
 // and wildcard forms) plus the lintdirective findings for malformed

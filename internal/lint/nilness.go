@@ -1,0 +1,432 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/ir"
+)
+
+// Nilness reports dereferences of values the value flow proves nil, and
+// nil checks whose outcome is already decided.
+//
+// The analysis runs the forward dataflow driver over the shared SSA IR
+// with branch refinement: an `if p == nil` splits the fact map, so the
+// true edge knows p is nil and the false edge knows it is not. A
+// dereference (field access through a pointer, *p, nil-slice indexing, a
+// call of a nil function value) on a path where the value is provably nil
+// is a guaranteed panic; a nil comparison whose operand is provably
+// non-nil (or provably nil) is dead code waiting to mislead a reader.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc: `report guaranteed-nil dereferences and decided nil checks
+
+A dereference of a value the branch-refined value flow proves nil panics
+on every execution that reaches it — the classic shape is using p inside
+the "p == nil" branch. A nil check on a value proven non-nil (freshly
+&composite, or already checked on this path) always takes the same arm;
+delete it or fix the condition it meant to express. Only facts the SSA
+analysis can prove fire — possible-but-unproven nils stay silent.`,
+	Run: runNilness,
+}
+
+// nilState is the per-value lattice: unknownNil ⊑ {isNil, nonNil}.
+type nilState uint8
+
+const (
+	unknownNil nilState = iota
+	isNil
+	nonNil
+)
+
+func (s nilState) String() string {
+	switch s {
+	case isNil:
+		return "nil"
+	case nonNil:
+		return "non-nil"
+	}
+	return "unknown"
+}
+
+// nilFacts maps SSA values to proven states at a program point. Absent
+// means unknown (modulo the value's inherent state, see inherentNilState).
+type nilFacts map[ir.Value]nilState
+
+func cloneNilFacts(m nilFacts) nilFacts {
+	out := make(nilFacts, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func equalNilFacts(a, b nilFacts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runNilness(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if irf := pass.FuncIR(fd); irf != nil {
+				nilnessFunc(pass, irf)
+			}
+		}
+	}
+	return nil
+}
+
+// nilnessFunc runs the fixpoint for one function and reports findings.
+func nilnessFunc(pass *Pass, fn *ir.Func) {
+	a := &nilnessAnalysis{pass: pass, fn: fn, defsByStmt: make(map[ast.Node][]*ir.Def)}
+	for _, d := range fn.Defs() {
+		a.defsByStmt[d.Stmt] = append(a.defsByStmt[d.Stmt], d)
+	}
+
+	facts := ir.Forward[nilFacts](fn, nilFacts{}, a.join, a.flow, equalNilFacts)
+
+	for _, b := range fn.Blocks {
+		if !fn.Reachable(b) {
+			continue
+		}
+		in, ok := facts[b]
+		if !ok {
+			continue
+		}
+		a.reportBlock(b, cloneNilFacts(in))
+	}
+}
+
+type nilnessAnalysis struct {
+	pass       *Pass
+	fn         *ir.Func
+	defsByStmt map[ast.Node][]*ir.Def
+}
+
+// state resolves a value's nil state at a program point: the flow fact if
+// one is recorded, the value's inherent (syntax-determined) state
+// otherwise.
+func (a *nilnessAnalysis) state(st nilFacts, v ir.Value) nilState {
+	if s, ok := st[v]; ok {
+		return s
+	}
+	return a.inherentNilState(v)
+}
+
+// inherentNilState is what a value's definition alone proves, with no
+// flow context: a named result starts at its (possibly nil) zero value, a
+// zero-valued declaration is nil, an address-of or composite literal is
+// not.
+func (a *nilnessAnalysis) inherentNilState(v ir.Value) nilState {
+	switch v := v.(type) {
+	case *ir.Param:
+		if v.Result && nilZero(v.V.Type()) {
+			return isNil
+		}
+	case *ir.Def:
+		switch v.Kind {
+		case ir.DefDecl:
+			if v.Rhs == nil {
+				if nilZero(v.V.Type()) {
+					return isNil
+				}
+				return unknownNil
+			}
+			return a.exprNilState(nil, v.Rhs)
+		case ir.DefAssign:
+			if v.Tok == token.ASSIGN || v.Tok == token.DEFINE {
+				if v.Rhs != nil {
+					return a.exprNilState(nil, v.Rhs)
+				}
+			}
+		}
+	}
+	return unknownNil
+}
+
+// exprNilState evaluates an expression's nil state. st carries flow facts
+// for identifier resolution; nil st restricts the answer to syntax.
+func (a *nilnessAnalysis) exprNilState(st nilFacts, e ast.Expr) nilState {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if isNilExpr(a.pass.TypesInfo, e) {
+			return isNil
+		}
+		if st == nil {
+			return unknownNil
+		}
+		if v, ok := a.pass.TypesInfo.Uses[e].(*types.Var); ok && a.fn.Tracked(v) {
+			if val := a.fn.ValueAt(e); val != nil {
+				return a.state(st, val)
+			}
+		}
+		return unknownNil
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nonNil // &x is never nil
+		}
+	case *ast.CompositeLit, *ast.FuncLit:
+		return nonNil
+	case *ast.CallExpr:
+		// new(T) and make(T, ...) never return nil.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := a.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				if b.Name() == "new" || b.Name() == "make" {
+					return nonNil
+				}
+			}
+		}
+	}
+	if isNilExpr(a.pass.TypesInfo, e) {
+		return isNil
+	}
+	return unknownNil
+}
+
+// applyDefs transfers the definitions of one statement into st.
+func (a *nilnessAnalysis) applyDefs(st nilFacts, n ast.Node) {
+	for _, d := range a.defsByStmt[n] {
+		s := a.inherentNilState(d)
+		if s == unknownNil && d.Rhs != nil {
+			// Identifier copies propagate the source's flow state.
+			s = a.exprNilState(st, d.Rhs)
+		}
+		if s == unknownNil {
+			delete(st, d)
+		} else {
+			st[d] = s
+		}
+	}
+}
+
+// nilCompare decomposes a block-ending condition of the shape
+// `x == nil` / `x != nil` into the compared SSA value and the operator.
+func (a *nilnessAnalysis) nilCompare(cond ast.Expr) (ir.Value, *ast.Ident, token.Token, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, nil, 0, false
+	}
+	var idExpr ast.Expr
+	switch {
+	case isNilExpr(a.pass.TypesInfo, be.Y):
+		idExpr = be.X
+	case isNilExpr(a.pass.TypesInfo, be.X):
+		idExpr = be.Y
+	default:
+		return nil, nil, 0, false
+	}
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return nil, nil, 0, false
+	}
+	if v, ok := a.pass.TypesInfo.Uses[id].(*types.Var); !ok || !a.fn.Tracked(v) {
+		return nil, nil, 0, false
+	}
+	val := a.fn.ValueAt(id)
+	if val == nil {
+		return nil, nil, 0, false
+	}
+	return val, id, be.Op, true
+}
+
+// condition returns the block-ending condition expression when b branches
+// on one (two successors, last node an expression).
+func (a *nilnessAnalysis) condition(b *ir.Block) ast.Expr {
+	if len(b.Succs) != 2 || len(b.Nodes) == 0 {
+		return nil
+	}
+	e, _ := b.Nodes[len(b.Nodes)-1].(ast.Expr)
+	return e
+}
+
+// flow is the Forward transfer function: apply every definition in order,
+// then refine per successor edge on a trailing nil comparison
+// (Succs[0] is the true edge by the CFG's branch convention).
+func (a *nilnessAnalysis) flow(b *ir.Block, in nilFacts) []nilFacts {
+	st := cloneNilFacts(in)
+	for _, n := range b.Nodes {
+		a.applyDefs(st, n)
+	}
+	cond := a.condition(b)
+	if cond == nil {
+		return []nilFacts{st}
+	}
+	val, _, op, ok := a.nilCompare(cond)
+	if !ok {
+		return []nilFacts{st}
+	}
+	onTrue, onFalse := isNil, nonNil
+	if op == token.NEQ {
+		onTrue, onFalse = nonNil, isNil
+	}
+	tr, fa := cloneNilFacts(st), st
+	tr[val] = onTrue
+	fa[val] = onFalse
+	return []nilFacts{tr, fa}
+}
+
+// join meets the facts arriving over the incoming edges: a plain value
+// keeps a state only when every reachable predecessor agrees; a phi takes
+// the meet of its edge values' states under each edge's own facts.
+func (a *nilnessAnalysis) join(b *ir.Block, in []ir.Edge[nilFacts]) nilFacts {
+	out := nilFacts{}
+	if len(in) == 0 {
+		return out
+	}
+	// Intersection of explicit facts.
+	for v, s := range in[0].Out {
+		agreed := s
+		for _, e := range in[1:] {
+			if e.Out[v] != s {
+				agreed = unknownNil
+				break
+			}
+		}
+		if agreed != unknownNil {
+			out[v] = agreed
+		}
+	}
+	// Phi evaluation: edge i of a phi belongs to Preds[i]; each incoming
+	// Edge is tagged with its predecessor.
+	for _, phi := range b.Phis {
+		meet := unknownNil
+		first := true
+		for i, p := range b.Preds {
+			if !a.fn.Reachable(p) {
+				continue
+			}
+			ev := phi.Edges[i]
+			if ev == nil {
+				continue
+			}
+			var s nilState
+			found := false
+			for _, e := range in {
+				if e.Pred == p {
+					s = a.state(e.Out, ev)
+					found = true
+					break
+				}
+			}
+			if !found {
+				// Predecessor not processed yet: optimistic skip, the
+				// fixpoint revisits once it is.
+				continue
+			}
+			if first {
+				meet, first = s, false
+			} else if meet != s {
+				meet = unknownNil
+			}
+			if meet == unknownNil {
+				break
+			}
+		}
+		if meet != unknownNil {
+			out[phi] = meet
+		}
+	}
+	return out
+}
+
+// reportBlock replays the transfer over one block with the stabilized
+// entry facts, reporting guaranteed-nil dereferences and decided checks.
+func (a *nilnessAnalysis) reportBlock(b *ir.Block, st nilFacts) {
+	cond := a.condition(b)
+	for _, n := range b.Nodes {
+		// The block-ending condition is checked for decidedness, not
+		// dereferences of its own operand.
+		if e, ok := n.(ast.Expr); ok && cond != nil && e == cond {
+			if val, id, op, ok := a.nilCompare(cond); ok {
+				switch a.state(st, val) {
+				case nonNil:
+					a.pass.Reportf(cond.Pos(), "redundant nil check: %s is never nil here", id.Name)
+				case isNil:
+					arm := "true"
+					if op == token.NEQ {
+						arm = "false"
+					}
+					a.pass.Reportf(cond.Pos(), "nil check is always %s: %s is always nil here", arm, id.Name)
+				}
+			}
+		}
+		a.checkDerefs(st, n)
+		a.applyDefs(st, n)
+	}
+}
+
+// checkDerefs walks one block node for dereference shapes whose base is a
+// provably nil value.
+func (a *nilnessAnalysis) checkDerefs(st nilFacts, n ast.Node) {
+	report := func(id *ast.Ident, what string) {
+		a.pass.Reportf(id.Pos(), "%s %s: it is always nil here", what, id.Name)
+	}
+	baseState := func(e ast.Expr) (*ast.Ident, nilState) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, unknownNil
+		}
+		v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !a.fn.Tracked(v) {
+			return nil, unknownNil
+		}
+		val := a.fn.ValueAt(id)
+		if val == nil {
+			return nil, unknownNil
+		}
+		return id, a.state(st, val)
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.StarExpr:
+			if id, s := baseState(m.X); s == isNil && id != nil {
+				report(id, "dereference of nil pointer")
+			}
+		case *ast.SelectorExpr:
+			// Selecting a field through a nil pointer dereferences it;
+			// method values on nil pointers are legal until called.
+			if sel, ok := a.pass.TypesInfo.Selections[m]; ok && sel.Kind() == types.FieldVal {
+				if _, ptr := sel.Recv().Underlying().(*types.Pointer); ptr {
+					if id, s := baseState(m.X); s == isNil && id != nil {
+						report(id, "field access through nil pointer")
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if tv := a.pass.TypesInfo.TypeOf(m.X); tv != nil {
+				if _, isSlice := tv.Underlying().(*types.Slice); isSlice {
+					if id, s := baseState(m.X); s == isNil && id != nil {
+						report(id, "index of nil slice")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := a.pass.TypesInfo.Types[m.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, s := baseState(m.Fun); s == isNil && id != nil {
+				if _, isFunc := a.pass.TypesInfo.TypeOf(id).Underlying().(*types.Signature); isFunc {
+					report(id, "call of nil function")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -117,6 +117,7 @@ func (m *Module) waves() [][]*Package {
 // the failure and the drop count.
 func analyzePackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, store *factStore) []Finding {
 	sup, out := collectDirectives(fset, pkg.Files, knownCheckNames(analyzers))
+	irs := newIRCache() // one IR per function, shared by every analyzer below
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -125,6 +126,7 @@ func analyzePackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, st
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			facts:     store,
+			irs:       irs,
 		}
 		var got []Finding
 		pass.Report = func(d Diagnostic) {

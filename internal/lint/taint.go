@@ -1,0 +1,518 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/ir"
+)
+
+// TaintFact marks a package-level variable or struct field whose stored
+// value derives from a nondeterminism source: the global math/rand
+// functions, time.Now, a function carrying a NondetFact, or another
+// tainted value. detflow exports it so that a handle on the global source
+// smuggled through a field or variable is still caught when a
+// deterministic package reads it back out — a pure call-graph analysis
+// never sees that flow.
+//
+// Field facts are keyed by the field's name within its package (see
+// objectKey); two same-named fields in one package therefore share taint.
+// That can only over-approximate, never hide a flow.
+type TaintFact struct {
+	// Reason describes how the stored value reaches nondeterminism, e.g.
+	// "is time.Now" or "comes from helpers.GlobalRNG (which calls time.Now)".
+	Reason string
+}
+
+// AFact marks TaintFact as a Fact.
+func (*TaintFact) AFact() {}
+
+func (f *TaintFact) String() string { return f.Reason }
+
+// taintEngine evaluates, over the shared SSA IR, whether an expression's
+// value derives from a nondeterminism source. It answers two questions:
+//
+//   - value taint (expr): does this expression's value carry
+//     nondeterminism — is it a tainted function value, a generator seeded
+//     from the wall clock, a draw from such a generator?
+//   - call effect (callEffect): does executing this call perform
+//     nondeterminism — call a banned function, a NondetFact function, a
+//     method on a tainted receiver, or a tainted function value?
+//
+// Local variables resolve through SSA values (Def right-hand sides, phi
+// edges), so taint survives aliasing and branch joins; stores to struct
+// fields and package-level variables are accumulated in objTaint (and
+// exported as TaintFacts) so taint survives a round trip through the
+// heap. Variables the IR cannot track (address-taken, captured) resolve
+// to clean — the engine under-approximates rather than invent findings.
+type taintEngine struct {
+	pass *Pass
+	// funcReason reports why calling fn is (transitively)
+	// nondeterministic, consulting the analyzer's per-package fixpoint
+	// state and imported NondetFacts. Empty means clean-so-far.
+	funcReason func(fn *types.Func) string
+	// objTaint holds the taint of stored locations (struct fields,
+	// package-level vars) of the package under analysis. It grows
+	// monotonically across fixpoint rounds.
+	objTaint map[types.Object]string
+
+	// Per-round memo tables, cleared by resetMemos whenever funcReason or
+	// objTaint may have grown.
+	vals map[ir.Value]string
+	lits map[*ast.FuncLit]string
+	// busy guards recursive evaluation across phi cycles; a cycle edge
+	// optimistically reads as clean (taint, if any, enters the cycle
+	// through an acyclic edge the traversal still explores).
+	busy     map[ir.Value]bool
+	busyLit  map[*ast.FuncLit]bool
+	sawCycle bool
+}
+
+func newTaintEngine(pass *Pass, funcReason func(*types.Func) string) *taintEngine {
+	t := &taintEngine{
+		pass:       pass,
+		funcReason: funcReason,
+		objTaint:   make(map[types.Object]string),
+	}
+	t.resetMemos()
+	return t
+}
+
+// resetMemos discards cached evaluations. The underlying inputs
+// (funcReason, objTaint, facts) only ever grow, so stale clean results are
+// the one hazard; recomputing after each fixpoint round removes it.
+func (t *taintEngine) resetMemos() {
+	t.vals = make(map[ir.Value]string)
+	t.lits = make(map[*ast.FuncLit]string)
+	t.busy = make(map[ir.Value]bool)
+	t.busyLit = make(map[*ast.FuncLit]bool)
+}
+
+// setObjTaint records the first taint reason for a stored location and
+// reports whether it was new.
+func (t *taintEngine) setObjTaint(obj types.Object, reason string) bool {
+	if _, ok := t.objTaint[obj]; ok {
+		return false
+	}
+	t.objTaint[obj] = reason
+	return true
+}
+
+// expr returns the taint reason of e's value, or "" when clean. fn is the
+// IR of the enclosing function, used to resolve local variables through
+// SSA; nil outside function bodies (package-level initializers) or inside
+// function literals, where identifiers fall back to stored-location taint.
+func (t *taintEngine) expr(fn *ir.Func, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return t.ident(fn, e)
+	case *ast.ParenExpr:
+		return t.expr(fn, e.X)
+	case *ast.SelectorExpr:
+		return t.selector(fn, e)
+	case *ast.CallExpr:
+		return t.call(fn, e)
+	case *ast.BinaryExpr:
+		// Arithmetic launders but does not clean: Now().UnixNano() % 7 is
+		// still the wall clock.
+		if r := t.expr(fn, e.X); r != "" {
+			return r
+		}
+		return t.expr(fn, e.Y)
+	case *ast.UnaryExpr:
+		return t.expr(fn, e.X)
+	case *ast.StarExpr:
+		return t.expr(fn, e.X)
+	case *ast.IndexExpr:
+		return t.expr(fn, e.X)
+	case *ast.TypeAssertExpr:
+		return t.expr(fn, e.X)
+	case *ast.FuncLit:
+		return t.funcLit(e)
+	case *ast.CompositeLit:
+		// Struct literals record per-field taint via scanStores; the
+		// aggregate value itself is not a draw. Element containers
+		// (slices, arrays, maps) holding a tainted element are tainted —
+		// indexing only strips the container.
+		if tv := t.pass.TypesInfo.TypeOf(e); tv != nil {
+			if _, ok := tv.Underlying().(*types.Struct); ok {
+				return ""
+			}
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if r := t.expr(fn, el); r != "" {
+				return r
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+func (t *taintEngine) ident(fn *ir.Func, id *ast.Ident) string {
+	switch obj := t.pass.TypesInfo.Uses[id].(type) {
+	case *types.Func:
+		return t.funcValueReason(obj)
+	case *types.Var:
+		if fn != nil && fn.Tracked(obj) {
+			if v := fn.ValueAt(id); v != nil {
+				return t.value(fn, v)
+			}
+			return ""
+		}
+		return t.object(obj)
+	}
+	return ""
+}
+
+func (t *taintEngine) selector(fn *ir.Func, sel *ast.SelectorExpr) string {
+	switch obj := t.pass.TypesInfo.Uses[sel.Sel].(type) {
+	case *types.Func:
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			// Method value x.M: nondeterministic iff the receiver is.
+			return t.expr(fn, sel.X)
+		}
+		return t.funcValueReason(obj)
+	case *types.Var:
+		return t.object(obj)
+	}
+	return ""
+}
+
+// object returns the taint of a stored location: a field or package-level
+// variable recorded locally this run, or a TaintFact exported when a
+// dependency was analyzed.
+func (t *taintEngine) object(obj types.Object) string {
+	if r, ok := t.objTaint[obj]; ok {
+		return r
+	}
+	if obj.Pkg() != nil && obj.Pkg() != t.pass.Pkg {
+		var fact TaintFact
+		if t.pass.ImportObjectFact(obj, &fact) {
+			return fact.Reason
+		}
+	}
+	return ""
+}
+
+// funcValueReason is the taint of referencing fn as a value (not calling
+// it): invoking the value later performs whatever fn performs.
+func (t *taintEngine) funcValueReason(fn *types.Func) string {
+	if r := directNondetReason(fn); r != "" {
+		return "is " + strings.TrimPrefix(r, "calls ")
+	}
+	if r := t.funcReason(fn); r != "" {
+		return fmt.Sprintf("is %s (which %s)", t.funcName(fn), r)
+	}
+	return ""
+}
+
+// funcName qualifies cross-package functions with their import path, the
+// same spelling NondetFact reason chains use.
+func (t *taintEngine) funcName(fn *types.Func) string {
+	if fn.Pkg() != nil && fn.Pkg() != t.pass.Pkg {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// call returns the taint of a call expression's result.
+func (t *taintEngine) call(fn *ir.Func, call *ast.CallExpr) string {
+	if tv, ok := t.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: int64(splitmix64(seed)) keeps the operand's taint
+		// (and a clean operand stays clean).
+		if len(call.Args) == 1 {
+			return t.expr(fn, call.Args[0])
+		}
+		return ""
+	}
+	callee := staticCallee(t.pass.TypesInfo, call)
+	if callee == nil {
+		// Calling a tainted function value yields a tainted result.
+		return t.expr(fn, call.Fun)
+	}
+	if randConstructor(callee) {
+		// rand.New / rand.NewSource / rand.NewPCG are deterministic
+		// constructors: the generator is exactly as nondeterministic as
+		// its seed. This is the sanitizer that keeps
+		// rand.New(rand.NewSource(splitmix64(seed))) clean.
+		for _, a := range call.Args {
+			if r := t.expr(fn, a); r != "" {
+				return r
+			}
+		}
+		return ""
+	}
+	if r := directNondetReason(callee); r != "" {
+		return "comes from " + strings.TrimPrefix(r, "calls ")
+	}
+	if r := t.funcReason(callee); r != "" {
+		return fmt.Sprintf("comes from %s (which %s)", t.funcName(callee), r)
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// A draw from a tainted generator is tainted; from a clean seeded
+		// one, clean.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return t.expr(fn, sel.X)
+		}
+	}
+	return ""
+}
+
+// randConstructor reports whether fn is one of the deterministic
+// generator constructors whose output taint equals its input taint.
+func randConstructor(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return true
+		}
+	}
+	return false
+}
+
+// callEffect reports why *executing* call performs nondeterminism, or ""
+// when it provably does not (under the engine's under-approximation).
+func (t *taintEngine) callEffect(fn *ir.Func, call *ast.CallExpr) string {
+	if tv, ok := t.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return "" // conversion, not a call
+	}
+	callee := staticCallee(t.pass.TypesInfo, call)
+	if callee != nil {
+		if r := directNondetReason(callee); r != "" {
+			return r
+		}
+		if r := t.funcReason(callee); r != "" {
+			return fmt.Sprintf("calls %s (which %s)", t.funcName(callee), r)
+		}
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if r := t.expr(fn, sel.X); r != "" {
+					return fmt.Sprintf("calls %s on a value that %s", callee.Name(), r)
+				}
+			}
+		}
+		return ""
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if r := t.funcLit(lit); r != "" {
+			return fmt.Sprintf("calls a func literal (which %s)", r)
+		}
+		return ""
+	}
+	if r := t.expr(fn, call.Fun); r != "" {
+		return fmt.Sprintf("calls a function value that %s", r)
+	}
+	return ""
+}
+
+// funcLit is the taint of a function literal as a value: invoking it later
+// performs whatever its body performs. Variables captured from the
+// enclosing function are untracked by the IR and read as clean; literals
+// reaching nondeterminism through their own calls are still caught.
+func (t *taintEngine) funcLit(lit *ast.FuncLit) string {
+	if r, ok := t.lits[lit]; ok {
+		return r
+	}
+	if t.busyLit[lit] {
+		return ""
+	}
+	t.busyLit[lit] = true
+	r := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if r != "" {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			r = t.callEffect(nil, call)
+		}
+		return r == ""
+	})
+	delete(t.busyLit, lit)
+	t.lits[lit] = r
+	return r
+}
+
+// value resolves the taint of one SSA value.
+func (t *taintEngine) value(fn *ir.Func, v ir.Value) string {
+	if r, ok := t.vals[v]; ok {
+		return r
+	}
+	if t.busy[v] {
+		t.sawCycle = true
+		return ""
+	}
+	t.busy[v] = true
+	saved := t.sawCycle
+	t.sawCycle = false
+	r := t.valueUncached(fn, v)
+	delete(t.busy, v)
+	if r != "" || !t.sawCycle {
+		// A clean result computed through a cycle back-edge is provisional
+		// (the cycle member was read optimistically) — don't memoize it.
+		t.vals[v] = r
+	}
+	t.sawCycle = saved || t.sawCycle
+	return r
+}
+
+func (t *taintEngine) valueUncached(fn *ir.Func, v ir.Value) string {
+	switch v := v.(type) {
+	case *ir.Phi:
+		for _, e := range v.Edges {
+			if e == nil {
+				continue
+			}
+			if r := t.value(fn, e); r != "" {
+				return r
+			}
+		}
+		return ""
+	case *ir.Def:
+		// x++ / x-- and op-assigns keep the previous value's provenance
+		// (the renamer recorded it as a use at the defining identifier).
+		if v.Kind == ir.DefIncDec || (v.Kind == ir.DefAssign && v.Tok != token.ASSIGN && v.Tok != token.DEFINE) {
+			if old := fn.ValueAt(v.Ident); old != nil && old != ir.Value(v) {
+				if r := t.value(fn, old); r != "" {
+					return r
+				}
+			}
+		}
+		if v.Rhs != nil {
+			return t.expr(fn, v.Rhs)
+		}
+		// Tuple assignment x, y := f(): both sides carry the call's taint.
+		if as, ok := v.Stmt.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			return t.expr(fn, as.Rhs[0])
+		}
+		if vs, ok := v.Stmt.(*ast.DeclStmt); ok {
+			if gd, ok := vs.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if s, ok := spec.(*ast.ValueSpec); ok && len(s.Values) == 1 && len(s.Names) > 1 {
+						for _, name := range s.Names {
+							if name == v.Ident {
+								return t.expr(fn, s.Values[0])
+							}
+						}
+					}
+				}
+			}
+		}
+		return ""
+	}
+	return "" // Param, Unknown: clean by construction
+}
+
+// scanStores walks root for stores whose target outlives the expression —
+// struct fields and package-level variables — and records the taint of
+// every stored value. It reports whether any new location became tainted
+// (the analyzer's package fixpoint re-runs until this settles).
+func (t *taintEngine) scanStores(fn *ir.Func, root ast.Node) bool {
+	changed := false
+	record := func(obj types.Object, reason string) {
+		if obj != nil && reason != "" && t.setObjTaint(obj, reason) {
+			changed = true
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			paired := len(n.Lhs) == len(n.Rhs)
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if paired {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if obj := t.storeTarget(lhs); obj != nil {
+					record(obj, t.expr(fn, rhs))
+				}
+			}
+		case *ast.ValueSpec:
+			// Package-level var declarations (local ones fail the
+			// storeTarget scope test via Defs below).
+			for i, name := range n.Names {
+				var val ast.Expr
+				switch {
+				case len(n.Values) == len(n.Names):
+					val = n.Values[i]
+				case len(n.Values) == 1:
+					val = n.Values[0]
+				}
+				if val == nil {
+					continue
+				}
+				if v, ok := t.pass.TypesInfo.Defs[name].(*types.Var); ok && persistentVar(v, t.pass.Pkg) {
+					record(v, t.expr(fn, val))
+				}
+			}
+		case *ast.CompositeLit:
+			tv := t.pass.TypesInfo.TypeOf(n)
+			if tv == nil {
+				return true
+			}
+			st, ok := tv.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, el := range n.Elts {
+				var field *types.Var
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						field, _ = t.pass.TypesInfo.Uses[key].(*types.Var)
+					}
+					val = kv.Value
+				} else if i < st.NumFields() {
+					field = st.Field(i)
+				}
+				if field != nil && field.Pkg() == t.pass.Pkg {
+					record(field, t.expr(fn, val))
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// storeTarget resolves an assignment target to a location whose stored
+// value outlives the function: a struct field (x.f = v) or a
+// package-level variable of the package under analysis.
+func (t *taintEngine) storeTarget(lhs ast.Expr) types.Object {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := t.pass.TypesInfo.Uses[l.Sel].(*types.Var); ok && v.Pkg() == t.pass.Pkg {
+			if v.IsField() || persistentVar(v, t.pass.Pkg) {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := t.pass.TypesInfo.Uses[l].(*types.Var); ok && persistentVar(v, t.pass.Pkg) {
+			return v
+		}
+	}
+	return nil
+}
+
+// persistentVar reports whether v is a package-level variable of pkg.
+func persistentVar(v *types.Var, pkg *types.Package) bool {
+	return v != nil && !v.IsField() && v.Pkg() == pkg && v.Parent() == pkg.Scope()
+}

@@ -33,6 +33,24 @@ func Pure(x float64) float64 {
 	return x * x
 }
 
+// Unit is deterministic and shares Jitter's signature, so the two can
+// flow into the same function-typed variable in the sim fixture.
+func Unit() float64 {
+	return 1
+}
+
+// Clock smuggles the wall clock behind a function-typed package variable:
+// the analyzer must export a TaintFact for it, so deterministic packages
+// that copy it into a field and call it later are still caught.
+var Clock = time.Now
+
+// GlobalRNG hands out a generator seeded from the wall clock. The
+// *function* carries a NondetFact, and any field the result is stored
+// into carries a TaintFact.
+func GlobalRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
 // Seeded uses the sanctioned replacement: methods on a seeded *rand.Rand
 // carry a receiver and are not nondeterministic.
 func Seeded(seed int64) float64 {

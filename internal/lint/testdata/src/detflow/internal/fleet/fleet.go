@@ -4,7 +4,12 @@
 // package. Seeded per-vehicle generators pass.
 package fleet
 
-import "repro/internal/lint/testdata/src/detflow/helpers"
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/lint/testdata/src/detflow/helpers"
+)
 
 // Ambient reaches the global math/rand source through the helper package.
 func Ambient() float64 {
@@ -20,4 +25,59 @@ func Plugged() bool {
 // so the cross-package call carries no NondetFact.
 func Roll(vehicle int64) float64 {
 	return helpers.Seeded(vehicle) + helpers.Pure(2)
+}
+
+// vehicle mirrors internal/fleet's per-vehicle state: the generator lives
+// in a struct field and is seeded from the vehicle index through a
+// SplitMix64 finalizer. The value flow proves every draw deterministic,
+// so nothing below is reported.
+type vehicle struct {
+	rng *rand.Rand
+}
+
+// vehicleSeed is the SplitMix64 finalizer internal/fleet uses to give
+// every vehicle an independent, reproducible stream.
+func vehicleSeed(seed int64, index int) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(index+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+func newVehicle(seed int64, index int) *vehicle {
+	return &vehicle{rng: rand.New(rand.NewSource(vehicleSeed(seed, index)))}
+}
+
+// Draw pulls from the seeded per-vehicle generator through the struct
+// field: clean, because the stored value's provenance is a constant seed.
+func (v *vehicle) Draw() float64 {
+	return v.rng.Float64()
+}
+
+// smuggled launders the wall clock through struct fields: a purely
+// call-graph analysis loses the trail at the store, but the value flow
+// keeps it.
+type smuggled struct {
+	rng *rand.Rand
+	now func() time.Time
+}
+
+func newSmuggled() *smuggled {
+	return &smuggled{
+		rng: helpers.GlobalRNG(), // want `call to nondeterministic GlobalRNG`
+		now: helpers.Clock,
+	}
+}
+
+// Sample draws from the smuggled wall-clock-seeded generator.
+func (s *smuggled) Sample() float64 {
+	return s.rng.Float64() // want `call to Float64 on a nondeterministically derived receiver`
+}
+
+// Stamp calls the wall clock through the function-typed field.
+func (s *smuggled) Stamp() time.Time {
+	return s.now() // want `call through nondeterministic function value`
 }

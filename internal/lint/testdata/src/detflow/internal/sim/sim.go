@@ -40,3 +40,30 @@ func Step4(x float64) float64 {
 func Fine(x float64) float64 {
 	return helpers.Pure(x) + helpers.Seeded(42)
 }
+
+// pick launders nondeterminism through a function-typed local: the SSA phi
+// joining the two branches carries the tainted arm to the call site.
+func pick(fast bool) float64 {
+	f := helpers.Unit
+	if fast {
+		f = helpers.Jitter
+	}
+	return f() // want `call through nondeterministic function value`
+}
+
+// alias launders through a chain of local copies; use-def chains resolve
+// h back to the global-source helper.
+func alias() float64 {
+	g := helpers.Draw
+	h := g
+	return h() // want `call through nondeterministic function value`
+}
+
+// closure launders through a function literal: the literal's body reaches
+// the global source, so the variable holding it is tainted.
+func closure() float64 {
+	f := func() float64 {
+		return helpers.Draw() // want `call to nondeterministic Draw`
+	}
+	return f() // want `call through nondeterministic function value`
+}

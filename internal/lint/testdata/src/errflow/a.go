@@ -47,3 +47,60 @@ func exempt() {
 	// Out of scope: the contract covers module APIs, not the stdlib.
 	fmt.Println("hello")
 }
+
+// localValueNil mirrors dep.ValueNil in-package: the SSA proof (zero
+// value, nil-only assignments, phi join) marks it always-nil for the
+// same-package fixpoint.
+func localValueNil(cond bool) error {
+	var err error
+	if !cond {
+		err = nil
+	}
+	return err
+}
+
+func exemptByValueFlow() {
+	// Always-nil proven through the value flow, locally and by fact.
+	localValueNil(true)
+	dep.ValueNil(false)
+	dep.NamedNil(2)
+}
+
+// deadStores drops errors with an extra step: the assignment happens, but
+// no path ever reads the variable before it dies or is overwritten.
+func deadStores() int {
+	err := dep.MayFail() // want `error assigned to err from .*dep.MayFail is never checked`
+	err = dep.Sometimes(1)
+	if err != nil {
+		return 1
+	}
+	v, err2 := dep.Pair() // want `error assigned to err2 from .*dep.Pair is never checked`
+	err2 = dep.Sometimes(v)
+	if err2 != nil {
+		return 0
+	}
+	return v
+}
+
+// handledStores are the value-flow shapes that count as checking.
+type holder struct{ err error }
+
+func handledStores(h *holder) error {
+	// Stored into a struct field: the field's consumers own it.
+	h.err = dep.MayFail()
+
+	// Read through a phi: the check happens after a join.
+	err := dep.MayFail()
+	if err == nil {
+		err = dep.Sometimes(2)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Overwritten unread, but the callee is proven always-nil: nothing
+	// real was dropped.
+	en := dep.ValueNil(true)
+	en = dep.Sometimes(4)
+	return en
+}

@@ -37,3 +37,29 @@ func Sometimes(n int) error {
 	}
 	return nil
 }
+
+// Pair returns a value and a real error (not always-nil).
+func Pair() (int, error) {
+	return 0, errors.New("dep: pair")
+}
+
+// ValueNil is always-nil proven through the value flow, not syntax: the
+// error variable is declared at its zero value and only ever reassigned
+// nil, so the phi joining the branches can only carry nil.
+func ValueNil(cond bool) error {
+	var err error
+	if cond {
+		err = nil
+	}
+	return err
+}
+
+// NamedNil is always-nil through a naked return of a named result that
+// only ever holds its nil zero value.
+func NamedNil(n int) (err error) {
+	if n > 0 {
+		return
+	}
+	err = nil
+	return
+}

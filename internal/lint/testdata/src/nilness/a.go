@@ -1,0 +1,113 @@
+// Package nilness exercises guaranteed-nil dereference and decided nil
+// check detection through the branch-refined value flow.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+// The classic shape: using the pointer inside its own nil branch.
+func derefInNilBranch(n *node) int {
+	if n == nil {
+		return n.val // want `field access through nil pointer n: it is always nil here`
+	}
+	return n.val
+}
+
+// Branch refinement flows into nested blocks: inside n != nil the value
+// is proven non-nil, so re-checking it is dead code.
+func redundantAfterCheck(n *node) int {
+	if n != nil {
+		if n == nil { // want `redundant nil check: n is never nil here`
+			return 0
+		}
+		return n.val
+	}
+	return -1
+}
+
+// A fresh address is inherently non-nil.
+func freshAddress() int {
+	m := &node{val: 3}
+	if m == nil { // want `redundant nil check: m is never nil here`
+		return 0
+	}
+	return m.val
+}
+
+// A zero-valued declaration is provably nil until assigned; the check
+// always takes the true arm, and the false edge (where the value would be
+// non-nil) keeps the fall-through dereference silent.
+func zeroDecl() int {
+	var p *node
+	if p == nil { // want `nil check is always true: p is always nil here`
+		return 0
+	}
+	return p.val
+}
+
+func starDeref() int {
+	var p *int
+	return *p // want `dereference of nil pointer p: it is always nil here`
+}
+
+func nilSliceIndex() int {
+	var s []int
+	return s[0] // want `index of nil slice s: it is always nil here`
+}
+
+func nilFuncCall() {
+	var f func()
+	f() // want `call of nil function f: it is always nil here`
+}
+
+// The phi meet proves non-nil when every reaching definition agrees.
+func phiNonNil(a bool) int {
+	var p *node
+	if a {
+		p = &node{val: 1}
+	} else {
+		p = &node{val: 2}
+	}
+	if p == nil { // want `redundant nil check: p is never nil here`
+		return 0
+	}
+	return p.val
+}
+
+// Disagreeing edges meet to unknown: a possibly-nil value is silent, both
+// at the (genuinely useful) check and at the guarded dereference.
+func possiblyNil(a bool) int {
+	p := &node{val: 1}
+	if a {
+		p = nil
+	}
+	if p == nil {
+		return 0
+	}
+	return p.val
+}
+
+// Method values on nil pointers are legal until called; only field
+// selection dereferences.
+func methodValue() func() int {
+	var n *node
+	return n.grab
+}
+
+func (n *node) grab() int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}
+
+// Suppression applies to SSA-based findings exactly as to syntactic ones.
+func suppressed(n *node) int {
+	if n == nil {
+		//lint:ignore nilness fixture: documenting the panic a caller would see
+		return n.val
+	}
+	return n.val
+}

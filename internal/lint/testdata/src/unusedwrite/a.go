@@ -1,0 +1,69 @@
+// Package unusedwrite exercises dead-store detection on the SSA
+// observedness fixpoint: writes no path reads are reported, loop-carried
+// and address-taken values are not.
+package unusedwrite
+
+import "errors"
+
+func compute() int { return 42 }
+
+func mayFail() error { return errors.New("x") }
+
+// The initializer's value is overwritten on every path before a read.
+func deadInitializer() int {
+	x := compute() // want `value assigned to x is never read`
+	x = compute()
+	return x
+}
+
+// A plain assignment to a parameter is dead when re-assigned unread.
+func overwrittenParam(n int) int {
+	n = 10 // want `value assigned to n is never read`
+	n = 20
+	return n
+}
+
+// A trailing increment computes a value nothing observes.
+func deadTrailingIncrement(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	count := len(xs)
+	count++ // want `result of count\+\+ is never read; the counter is dead`
+	return total
+}
+
+// Loop-carried values are observed through phis: n's increment feeds the
+// next iteration and the return, so nothing here is dead.
+func loopCarried(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// A plain declaration is not a write; the first real assignment is live.
+func declThenAssign() int {
+	var x int
+	x = 7
+	return x
+}
+
+// Address-taken variables leave SSA tracking: writes may be read through
+// the pointer, so the analyzer stays silent.
+func addressTaken() int {
+	x := 1
+	p := &x
+	x = 2
+	return *p
+}
+
+// Dead error stores belong to errflow (with its always-nil exemptions);
+// unusedwrite never double-reports them.
+func errorStoreExempt() error {
+	err := mayFail()
+	err = nil
+	return err
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/ir"
+)
+
+// UnusedWrite reports stores to local variables that no execution path
+// reads: the SSA value created by the assignment is overwritten or goes
+// out of scope before any use.
+//
+// The analysis is a direct consumer of the IR's observedness fixpoint: a
+// definition whose value no identifier use resolves to — directly or
+// through a chain of phis — and that is not live at any return statement
+// is a dead store. Plain declarations (var x T), range variables and
+// error-typed values are excluded: the first two are declarations rather
+// than meaningful writes, and dead error stores are errflow's finding
+// (with its always-nil exemptions) so one defect never fires twice.
+var UnusedWrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc: `report stores whose value is never read
+
+An assignment that no path observes — every successor either overwrites
+the variable or lets it die — is at best wasted work and at worst a bug:
+the computed value was meant to go somewhere. The SSA form makes the
+check exact for tracked variables (address-taken and closure-captured
+variables are skipped, since writes to them may be read elsewhere).
+Error-typed stores are left to errflow, which pairs the same dead-store
+evidence with always-nil provenance.`,
+	Run: runUnusedWrite,
+}
+
+func runUnusedWrite(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			irf := pass.FuncIR(fd)
+			if irf == nil {
+				continue
+			}
+			for _, d := range irf.Defs() {
+				if irf.Observed(d) {
+					continue
+				}
+				if !reportableDeadStore(d) {
+					continue
+				}
+				if implementsError(d.V.Type()) {
+					continue // errflow owns dead error stores
+				}
+				switch d.Kind {
+				case ir.DefIncDec:
+					pass.Reportf(d.Ident.Pos(), "result of %s%s is never read; the counter is dead", d.Ident.Name, tokSuffix(d))
+				default:
+					pass.Reportf(d.Ident.Pos(), "value assigned to %s is never read; every path overwrites it or returns first", d.Ident.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reportableDeadStore filters definition sites down to the ones a dead
+// store is worth reporting for.
+func reportableDeadStore(d *ir.Def) bool {
+	switch d.Kind {
+	case ir.DefRange:
+		// Range variables are redefined every iteration; an unread final
+		// iteration value is the loop's normal shape, not a dead store.
+		return false
+	case ir.DefDecl:
+		// `var x T` with no initializer declares, it does not compute a
+		// value; only initialized declarations count as writes.
+		return d.Rhs != nil
+	}
+	return true
+}
+
+func tokSuffix(d *ir.Def) string {
+	if d.Tok.String() == "--" {
+		return "--"
+	}
+	return "++"
+}
