@@ -187,6 +187,8 @@ type benchRecord struct {
 	Rounds       int                `json:"rounds"`
 	SequentialNs int64              `json:"sequential_ns"`
 	SSANs        int64              `json:"ssa_ns"`
+	CallGraphNs  int64              `json:"callgraph_ns"`
+	SummaryNs    int64              `json:"summary_ns"`
 	Parallel     []benchParallelRun `json:"parallel"`
 	Findings     int                `json:"findings"`
 }
@@ -202,17 +204,23 @@ func writeBench(path string, mod *lint.Module, analyzers []*lint.Analyzer) error
 	ctx := context.Background()
 
 	var seqBest time.Duration
-	var ssaBest int64
+	var ssaBest, cgBest, sumBest int64
 	var findings int
 	for i := 0; i < rounds; i++ {
 		ssa0 := lint.SSABuildNanos()
+		cg0 := lint.CallGraphNanos()
+		sum0 := lint.SummaryNanos()
 		t0 := time.Now()
 		fs := mod.Run(analyzers)
 		d := time.Since(t0)
 		ssaD := lint.SSABuildNanos() - ssa0
+		cgD := lint.CallGraphNanos() - cg0
+		sumD := lint.SummaryNanos() - sum0
 		if i == 0 || d < seqBest {
 			seqBest = d
 			ssaBest = ssaD
+			cgBest = cgD
+			sumBest = sumD
 		}
 		findings = len(fs)
 	}
@@ -252,6 +260,8 @@ func writeBench(path string, mod *lint.Module, analyzers []*lint.Analyzer) error
 		Rounds:       rounds,
 		SequentialNs: seqBest.Nanoseconds(),
 		SSANs:        ssaBest,
+		CallGraphNs:  cgBest,
+		SummaryNs:    sumBest,
 		Parallel:     parallel,
 		Findings:     findings,
 	}

@@ -143,14 +143,11 @@ func (s *System) StepParallel(loadPower, dt float64) (StepReport, error) {
 // supply P at any voltage (ErrInfeasible). For P ≤ 0, g is strictly
 // decreasing on (0, ∞) with a single root above max(V_b, V_c).
 func solveParallelBus(vb, rb, vc, rc, p float64) (float64, error) {
-	g := func(vl float64) float64 {
-		return (vb-vl)/rb + (vc-vl)/rc - p/vl
-	}
 	var lo, hi float64
 	if p > 0 {
 		lo = math.Sqrt(p * rb * rc / (rb + rc))
 		hi = math.Max(vb, vc)
-		if lo >= hi || g(lo) < 0 {
+		if lo >= hi || parallelBusGap(vb, rb, vc, rc, p, lo) < 0 {
 			return 0, fmt.Errorf("%w: parallel bus collapsed (P=%.0f W, Vb=%.1f, Vc=%.1f)", ErrInfeasible, p, vb, vc)
 		}
 	} else {
@@ -159,7 +156,7 @@ func solveParallelBus(vb, rb, vc, rc, p float64) (float64, error) {
 			lo = 1e-6
 		}
 		hi = math.Max(vb, vc) + 1
-		for iter := 0; g(hi) > 0; iter++ {
+		for iter := 0; parallelBusGap(vb, rb, vc, rc, p, hi) > 0; iter++ {
 			hi *= 1.5
 			if iter > 200 {
 				return 0, fmt.Errorf("%w: no regen bus bracket", ErrInfeasible)
@@ -168,7 +165,7 @@ func solveParallelBus(vb, rb, vc, rc, p float64) (float64, error) {
 	}
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2
-		if g(mid) > 0 {
+		if parallelBusGap(vb, rb, vc, rc, p, mid) > 0 {
 			lo = mid
 		} else {
 			hi = mid
@@ -178,6 +175,13 @@ func solveParallelBus(vb, rb, vc, rc, p float64) (float64, error) {
 		}
 	}
 	return (lo + hi) / 2, nil
+}
+
+// parallelBusGap is the bus balance residual g(V_l) solveParallelBus
+// bisects on; a named function (not a closure) so the per-step solve is
+// statically allocation-free.
+func parallelBusGap(vb, rb, vc, rc, p, vl float64) float64 {
+	return (vb-vl)/rb + (vc-vl)/rc - p/vl
 }
 
 // ---------------------------------------------------------------------------

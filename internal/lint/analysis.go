@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/lint/callgraph"
 	"repro/internal/lint/ir"
 )
 
@@ -58,6 +59,10 @@ type Pass struct {
 	// detflow, errflow, nilness and unusedwrite all reason over the same
 	// IR and each function is lowered exactly once.
 	irs *irCache
+	// cg caches the package call graph (repro/internal/lint/callgraph),
+	// shared like irs so the graph and its SCC condensation are built at
+	// most once per package per driver run.
+	cg *cgCache
 }
 
 // FuncIR returns the value-flow IR (CFG + dominators + SSA, see
@@ -73,6 +78,37 @@ func (p *Pass) FuncIR(fd *ast.FuncDecl) *ir.Func {
 		return ir.Build(p.TypesInfo, fd)
 	}
 	return p.irs.get(p.TypesInfo, fd)
+}
+
+// CallGraph returns the package's call graph (static calls, SSA-resolved
+// function values, package-local CHA for interface dispatch — see
+// repro/internal/lint/callgraph), built on first request and cached for
+// every later analyzer of the same driver run. Function-value resolution
+// reuses the shared IR cache, so requesting the graph also warms FuncIR.
+func (p *Pass) CallGraph() *callgraph.Graph {
+	if p.cg == nil {
+		// Driverless Pass (unit tests): build uncached.
+		return callgraph.Build(p.TypesInfo, p.Files, p.FuncIR)
+	}
+	return p.cg.get(p)
+}
+
+// cgCache is the per-package call-graph store shared across analyzers.
+type cgCache struct {
+	mu sync.Mutex
+	g  *callgraph.Graph
+}
+
+func (c *cgCache) get(p *Pass) *callgraph.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.g == nil {
+		t0 := time.Now()
+		c.g = callgraph.Build(p.TypesInfo, p.Files, p.FuncIR)
+		c.g.SCCs() // condense eagerly so the timing covers both
+		callGraphNanos.Add(time.Since(t0).Nanoseconds())
+	}
+	return c.g
 }
 
 // irCache is the per-package IR store shared across analyzers.
@@ -106,6 +142,27 @@ var ssaBuildNanos atomic.Int64
 // building per-function SSA/CFG IR. The -benchjson path records the delta
 // across a measured run as ssa_ns.
 func SSABuildNanos() int64 { return ssaBuildNanos.Load() }
+
+// callGraphNanos accumulates wall-clock time spent building package call
+// graphs (including SCC condensation), for the benchmark's callgraph_ns.
+var callGraphNanos atomic.Int64
+
+// CallGraphNanos returns the cumulative nanoseconds spent building call
+// graphs. The -benchjson path records the delta as callgraph_ns.
+func CallGraphNanos() int64 { return callGraphNanos.Load() }
+
+// summaryNanos accumulates wall-clock time the interprocedural analyzers
+// (detflow, errflow, allocflow) spend computing bottom-up per-function
+// summaries over the SCC condensation, for the benchmark's summary_ns.
+var summaryNanos atomic.Int64
+
+// SummaryNanos returns the cumulative nanoseconds spent computing
+// per-function summaries. The -benchjson path records the delta as
+// summary_ns.
+func SummaryNanos() int64 { return summaryNanos.Load() }
+
+// addSummaryNanos lets analyzers attribute a summary-computation span.
+func addSummaryNanos(d time.Duration) { summaryNanos.Add(d.Nanoseconds()) }
 
 // Reportf reports a finding at pos with a Sprintf-formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {

@@ -4,6 +4,7 @@ package lint
 // freshly allocated; callers may filter it.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AllocFlow,
 		DetFlow,
 		DetRand,
 		ErrFlow,

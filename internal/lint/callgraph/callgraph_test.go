@@ -1,0 +1,281 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/ir"
+)
+
+// build typechecks one file and builds its call graph with IR-backed
+// function-value resolution.
+func build(t *testing.T, src string) (*Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	irs := make(map[*ast.FuncDecl]*ir.Func)
+	g := Build(info, []*ast.File{file}, func(fd *ast.FuncDecl) *ir.Func {
+		f, ok := irs[fd]
+		if !ok {
+			f = ir.Build(info, fd)
+			irs[fd] = f
+		}
+		return f
+	})
+	return g, info
+}
+
+// node finds the graph node of the named declared function.
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+// calleeNames renders a node's resolved edges for assertions.
+func calleeNames(n *Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		switch {
+		case e.Callee != nil && e.CHA:
+			out = append(out, "cha:"+e.Callee.Name())
+		case e.Callee != nil && e.Site == nil:
+			out = append(out, "creates:"+e.Callee.Name())
+		case e.Callee != nil:
+			out = append(out, e.Callee.Name())
+		case e.External != nil:
+			out = append(out, "ext:"+e.External.Name())
+		case e.Dynamic:
+			out = append(out, "dynamic")
+		}
+	}
+	return out
+}
+
+func TestStaticEdges(t *testing.T) {
+	g, _ := build(t, `package p
+
+func a() { b(); c() }
+func b() { c() }
+func c() {}
+`)
+	got := strings.Join(calleeNames(node(t, g, "a")), ",")
+	if got != "b,c" {
+		t.Errorf("a's edges = %q, want b,c", got)
+	}
+}
+
+func TestMethodAndExternalEdges(t *testing.T) {
+	g, _ := build(t, `package p
+
+import "strconv"
+
+type T int
+
+func (t T) m() {}
+
+func a(t T) string { t.m(); return strconv.Itoa(int(t)) }
+`)
+	got := strings.Join(calleeNames(node(t, g, "a")), ",")
+	if got != "T.m,ext:Itoa" {
+		t.Errorf("a's edges = %q, want T.m,ext:Itoa", got)
+	}
+}
+
+func TestFuncValueThroughSSA(t *testing.T) {
+	g, _ := build(t, `package p
+
+func a() {}
+func b() {}
+
+func pick(cond bool) {
+	f := a
+	if cond {
+		f = b
+	}
+	f()
+}
+`)
+	got := strings.Join(calleeNames(node(t, g, "pick")), ",")
+	// The phi at the join contributes both bindings.
+	if got != "a,b" {
+		t.Errorf("pick's edges = %q, want a,b", got)
+	}
+}
+
+func TestFuncValueUnresolvedIsDynamic(t *testing.T) {
+	g, _ := build(t, `package p
+
+var hook func()
+
+func a() { f := hook; f() }
+`)
+	got := strings.Join(calleeNames(node(t, g, "a")), ",")
+	if got != "dynamic" {
+		t.Errorf("a's edges = %q, want dynamic", got)
+	}
+}
+
+func TestInterfaceDispatchCHA(t *testing.T) {
+	g, _ := build(t, `package p
+
+type runner interface{ run() }
+
+type fast struct{}
+type slow struct{}
+
+func (fast) run() {}
+func (slow) run() {}
+
+func drive(r runner) { r.run() }
+`)
+	got := strings.Join(calleeNames(node(t, g, "drive")), ",")
+	// Both local implementations, plus the residual dynamic edge for
+	// implementations outside the package.
+	if got != "cha:fast.run,cha:slow.run,dynamic" {
+		t.Errorf("drive's edges = %q, want cha:fast.run,cha:slow.run,dynamic", got)
+	}
+}
+
+func TestFuncLitNodes(t *testing.T) {
+	g, _ := build(t, `package p
+
+func a() {
+	f := func() { b() }
+	f()
+	func() { b() }()
+}
+
+func b() {}
+`)
+	n := node(t, g, "a")
+	var lits, calls int
+	for _, e := range n.Out {
+		if e.Callee != nil && e.Callee.Lit != nil {
+			if e.Site == nil {
+				lits++ // creation edge
+			} else {
+				calls++ // resolved invocation
+			}
+		}
+	}
+	if lits != 1 || calls != 2 {
+		t.Errorf("lit creation/call edges = %d/%d, want 1/2 (stored lit created once, called once; IIFE called once)", lits, calls)
+	}
+	// Each literal's body owns its own call to b.
+	litCalls := 0
+	for _, n := range g.Nodes {
+		if n.Lit == nil {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee != nil && e.Callee.Name() == "b" {
+				litCalls++
+			}
+		}
+	}
+	if litCalls != 2 {
+		t.Errorf("calls to b from literals = %d, want 2", litCalls)
+	}
+}
+
+func TestConversionsAndBuiltinsAreNotCalls(t *testing.T) {
+	g, _ := build(t, `package p
+
+type mv float64
+
+func a(x float64, s []int) int {
+	_ = mv(x)
+	return len(append(s, 1))
+}
+`)
+	if got := calleeNames(node(t, g, "a")); len(got) != 0 {
+		t.Errorf("a's edges = %v, want none (conversion, len, append)", got)
+	}
+}
+
+func TestSCCsBottomUp(t *testing.T) {
+	g, _ := build(t, `package p
+
+func top() { mid() }
+func mid() { leafA(); leafB() }
+func leafA() { leafB() }
+func leafB() {}
+
+func pingA() { pingB() }
+func pingB() { pingA() }
+`)
+	sccs := g.SCCs()
+	pos := make(map[string]int)
+	size := make(map[string]int)
+	for i, scc := range sccs {
+		for _, n := range scc {
+			pos[n.Name()] = i
+			size[n.Name()] = len(scc)
+		}
+	}
+	// Callees come before callers.
+	if !(pos["leafB"] < pos["leafA"] && pos["leafA"] < pos["mid"] && pos["mid"] < pos["top"]) {
+		t.Errorf("SCC order not bottom-up: %v", pos)
+	}
+	// The mutual recursion shares one component.
+	if pos["pingA"] != pos["pingB"] || size["pingA"] != 2 {
+		t.Errorf("pingA/pingB SCC: pos %d/%d size %d, want shared size-2", pos["pingA"], pos["pingB"], size["pingA"])
+	}
+}
+
+func TestDeterministicNodeOrder(t *testing.T) {
+	src := `package p
+
+func c() { b() }
+func a() { c() }
+func b() { f := func() {}; f() }
+`
+	g1, _ := build(t, src)
+	g2, _ := build(t, src)
+	if len(g1.Nodes) != len(g2.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(g1.Nodes), len(g2.Nodes))
+	}
+	for i := range g1.Nodes {
+		if g1.Nodes[i].Name() != g2.Nodes[i].Name() {
+			t.Errorf("node %d: %q vs %q", i, g1.Nodes[i].Name(), g2.Nodes[i].Name())
+		}
+		if len(g1.Nodes[i].Out) != len(g2.Nodes[i].Out) {
+			t.Errorf("node %d edge counts differ", i)
+		}
+	}
+	s1, s2 := g1.SCCs(), g2.SCCs()
+	if len(s1) != len(s2) {
+		t.Fatalf("SCC counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if len(s1[i]) != len(s2[i]) || s1[i][0].Name() != s2[i][0].Name() {
+			t.Errorf("SCC %d differs: %s vs %s", i, s1[i][0].Name(), s2[i][0].Name())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"time"
 
 	"repro/internal/lint/ir"
 )
@@ -101,34 +102,63 @@ func runDetFlow(pass *Pass) error {
 	}
 	eng := newTaintEngine(pass, funcReason)
 
-	// Package fixpoint: function reasons and stored-value taints feed each
-	// other — a constructor storing a wall-clock handle into a field makes
-	// the field's readers nondeterministic, which in turn taints whatever
-	// *they* store. Both sets grow monotonically, so iteration terminates;
-	// memos are dropped each round because a cached "clean" may be stale.
-	for round := 0; ; round++ {
-		changed := false
-		eng.resetMemos()
-		for _, obj := range order {
-			fi := infos[obj]
+	// summarize decides whether one function's body performs
+	// nondeterminism, updating its funcInfo; reports whether the reason
+	// was newly set.
+	summarize := func(obj *types.Func) bool {
+		fi := infos[obj]
+		if fi == nil || fi.reason != "" {
+			return false
+		}
+		fd := decls[obj]
+		irf := pass.FuncIR(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			if fi.reason != "" {
-				continue
+				return false
 			}
-			fd := decls[obj]
-			irf := pass.FuncIR(fd)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if fi.reason != "" {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if r := eng.callEffect(irf, call); r != "" {
+					fi.reason = r
 					return false
 				}
-				if call, ok := n.(*ast.CallExpr); ok {
-					if r := eng.callEffect(irf, call); r != "" {
-						fi.reason = r
-						changed = true
-						return false
+			}
+			return true
+		})
+		return fi.reason != ""
+	}
+
+	// Function summaries are computed bottom-up over the call graph's SCC
+	// condensation: when a function is summarized, its (acyclic) callees
+	// already are, so most functions settle in a single visit. Members of
+	// one component can reach each other, so each component iterates to
+	// its own fixpoint. The outer loop re-runs only when stored-value
+	// taint grows (a summarized constructor stores a wall-clock handle
+	// into a field, making the field's readers nondeterministic — which
+	// the summaries must observe). Reasons only transition empty->set and
+	// objTaint only grows, so the whole loop terminates without a round
+	// bound; memos are dropped whenever either set changed, because a
+	// cached "clean" may be stale.
+	t0 := time.Now()
+	sccs := pass.CallGraph().SCCs()
+	for {
+		changed := false
+		eng.resetMemos()
+		for _, scc := range sccs {
+			for again := true; again; {
+				again = false
+				for _, node := range scc {
+					if node.Decl == nil {
+						continue // literals are summarized at their use sites
+					}
+					if summarize(node.Fn) {
+						again, changed = true, true
+						eng.resetMemos()
 					}
 				}
-				return true
-			})
+				if again && len(scc) == 1 {
+					break // a singleton's reason cannot improve further
+				}
+			}
 		}
 		// Stores into fields and package-level vars, in function bodies
 		// and in package-level initializers.
@@ -148,10 +178,11 @@ func runDetFlow(pass *Pass) error {
 				}
 			}
 		}
-		if !changed || round > len(order)+len(eng.objTaint)+8 {
+		if !changed {
 			break
 		}
 	}
+	addSummaryNanos(time.Since(t0))
 
 	// Export facts so dependents see through this package.
 	for _, obj := range order {

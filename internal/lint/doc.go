@@ -45,6 +45,9 @@
 //     branch-refined value flow has already decided.
 //   - unusedwrite: no stores whose value is overwritten or dies on
 //     every path before a read (dead error stores stay with errflow).
+//   - allocflow: functions reachable from a //lint:hotpath root must be
+//     provably allocation-free, transitively — the compile-time form of
+//     the allocs/step budget the simulator benchmarks enforce.
 //
 // detflow, errflow and unitmix are cross-package dataflow analyses
 // built on Facts: serializable claims attached to objects or packages
@@ -74,11 +77,58 @@
 //     definition sites and every use identifier is renamed to the one
 //     definition (Param, Def, or Phi) reaching it. Untracked variables
 //     resolve to Unknown, which every analyzer treats as "no claim".
-//  4. Dataflow. A generic forward fixpoint driver (ir.Forward) visits
+//  4. Cells. Address-taken locals get a conservative flow-insensitive
+//     summary (Func.Cell): every store that may reach the variable —
+//     direct assignment or a write through a local may-alias chain —
+//     plus a read count and an Escaped bit that trips the moment the
+//     address leaves the function (call argument, return, field store,
+//     closure capture). Non-escaped cells sustain must-claims (errflow's
+//     always-nil proofs, unusedwrite's dead stores, nilness states);
+//     escaped cells only may-claims (detflow taint).
+//  5. Dataflow. A generic forward fixpoint driver (ir.Forward) visits
 //     reachable blocks in reverse postorder; the per-block transfer
 //     returns one fact per successor edge, which is how nilness refines
 //     "p == nil" into different facts on the two arms. Joins see
 //     per-predecessor edges so they can evaluate phis.
+//
+// # Interprocedural analysis
+//
+// repro/internal/lint/callgraph builds a per-package call graph over the
+// same IR, cached per package by the driver (Pass.CallGraph): one node
+// per declared function and per function literal, edges for static
+// calls, function values chased through SSA def-use chains (including
+// phi joins), and class-hierarchy candidates for interface dispatch
+// computed from the package's own method sets — always paired with a
+// residual dynamic edge, so clients never mistake CHA candidates for a
+// proof of coverage. Tarjan's algorithm emits the SCC condensation in
+// reverse topological order, and detflow, errflow and allocflow compute
+// their per-function summaries bottom-up over it: callees settle before
+// callers, mutually recursive components iterate to their own local
+// fixpoint, and the resulting facts (NondetFact, NilErrorFact,
+// AllocFact) carry the summaries across package boundaries. detflow
+// alone keeps an outer loop, because taint stored into fields feeds back
+// into function summaries. `make lint-bench` reports the graph and
+// summary costs as callgraph_ns and summary_ns in BENCH_lint.json.
+//
+// # Hot-path annotations
+//
+// Two //lint: annotations (reasons mandatory, validated like ignore
+// directives) drive allocflow:
+//
+//	//lint:hotpath <reason>   — this function and everything it reaches
+//	                            through static calls must be provably
+//	                            allocation-free; every allocating
+//	                            construct in the region is a finding.
+//	//lint:coldpath <reason>  — a reviewed amortized or setup path
+//	                            (buffer growth in a reusable workspace);
+//	                            enforcement stops here and no AllocFact
+//	                            is exported for it.
+//
+// Allocations on failing returns (a return statement whose error result
+// is non-nil) and in panic arguments are exempt without annotation —
+// error paths are cold by definition. Dynamic dispatch is not followed;
+// implementations that must stay allocation-free need their own hotpath
+// roots.
 //
 // On top of the IR, detflow runs a taint engine (taint.go) that answers
 // "is this value derived from a nondeterministic source?" with a

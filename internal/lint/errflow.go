@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"time"
 
 	"repro/internal/lint/ir"
 )
@@ -102,7 +103,12 @@ func runErrFlow(pass *Pass) error {
 		var fact NilErrorFact
 		return fn.Pkg() != pass.Pkg && pass.ImportObjectFact(fn, &fact)
 	}
-	prover := &nilProver{pass: pass, isAlwaysNil: isAlwaysNil, busy: make(map[ir.Value]bool)}
+	prover := &nilProver{
+		pass:        pass,
+		isAlwaysNil: isAlwaysNil,
+		busy:        make(map[ir.Value]bool),
+		busyCell:    make(map[*ir.Cell]bool),
+	}
 
 	// provablyNil reports whether every error-position expression of every
 	// return statement is provably nil given the current fixpoint state.
@@ -138,16 +144,32 @@ func runErrFlow(pass *Pass) error {
 		}
 		return true
 	}
-	for changed := true; changed; {
-		changed = false
-		for _, fn := range order {
-			ri := infos[fn]
-			if !ri.alwaysNil && provablyNil(ri) {
-				ri.alwaysNil = true
-				changed = true
+	// Proofs run bottom-up over the call graph's SCC condensation: a
+	// function's proof consults only its static callees (return f(),
+	// tuple assignments), and those live in earlier components — already
+	// settled — or in this one, which iterates to its own fixpoint. The
+	// result is the same least fixpoint the old whole-package rounds
+	// converged to, reached in one sweep.
+	t0 := time.Now()
+	for _, scc := range pass.CallGraph().SCCs() {
+		for again := true; again; {
+			again = false
+			for _, node := range scc {
+				if node.Decl == nil {
+					continue
+				}
+				ri := infos[node.Fn]
+				if ri == nil || ri.alwaysNil {
+					continue
+				}
+				if provablyNil(ri) {
+					ri.alwaysNil = true
+					again = true
+				}
 			}
 		}
 	}
+	addSummaryNanos(time.Since(t0))
 	for _, fn := range order {
 		if infos[fn].alwaysNil {
 			pass.ExportObjectFact(fn, &NilErrorFact{})
@@ -244,11 +266,12 @@ func reportDeadErrorStores(pass *Pass, fd *ast.FuncDecl, isAlwaysNil func(*types
 }
 
 // nilProver decides "this expression is provably nil here" over the SSA
-// value flow.
+// value flow, falling back to cell summaries for address-taken locals.
 type nilProver struct {
 	pass        *Pass
 	isAlwaysNil func(*types.Func) bool
 	busy        map[ir.Value]bool
+	busyCell    map[*ir.Cell]bool
 }
 
 func (p *nilProver) expr(fn *ir.Func, e ast.Expr) bool {
@@ -258,9 +281,15 @@ func (p *nilProver) expr(fn *ir.Func, e ast.Expr) bool {
 	}
 	if id, ok := e.(*ast.Ident); ok {
 		if fn != nil {
-			if v, ok := p.pass.TypesInfo.Uses[id].(*types.Var); ok && fn.Tracked(v) {
-				if val := fn.ValueAt(id); val != nil {
-					return p.value(fn, val)
+			if v, ok := p.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				if fn.Tracked(v) {
+					if val := fn.ValueAt(id); val != nil {
+						return p.value(fn, val)
+					}
+					return false
+				}
+				if c := fn.Cell(v); c != nil {
+					return p.cellNil(fn, c)
 				}
 			}
 		}
@@ -325,6 +354,40 @@ func (p *nilProver) value(fn *ir.Func, v ir.Value) bool {
 		return false
 	}
 	return false // Unknown
+}
+
+// cellNil proves an address-taken local always-nil: this is a must-claim,
+// so the cell may not have escaped (unseen code could store anything
+// through the leaked address) and every recorded store — direct or
+// through a may-aliasing pointer — must itself prove nil. Stores the
+// summary does not model (tuple positions, op-assigns, range variables)
+// defeat the proof. Cycles through self-referential stores read
+// optimistically nil, the same greatest-fixpoint treatment phi cycles
+// get: if every acyclic store proves nil, the circulating value is nil.
+func (p *nilProver) cellNil(fn *ir.Func, c *ir.Cell) bool {
+	if c.Escaped {
+		return false
+	}
+	if p.busyCell[c] {
+		return true
+	}
+	p.busyCell[c] = true
+	defer delete(p.busyCell, c)
+	for _, s := range c.Stores {
+		switch {
+		case s.Zero:
+			if !nilZero(c.V.Type()) {
+				return false
+			}
+		case s.Tuple, s.Rhs == nil:
+			return false
+		default:
+			if !p.expr(fn, s.Rhs) {
+				return false
+			}
+		}
+	}
+	return len(c.Stores) > 0
 }
 
 // namedResultsNil reports whether, at a naked return, every error-typed

@@ -69,21 +69,79 @@ func (s *factStore) get(k factKey, dst Fact) bool {
 }
 
 // objectKey names obj relative to its package: "Name" for package-level
-// objects, "Type.Method" for methods. The key survives the round trip
-// through export data, which is what makes cross-package fact lookup work.
+// objects, "Type.Method" for methods, "Type.Field" for struct fields.
+// The key survives the round trip through export data, which is what
+// makes cross-package fact lookup work. Qualifying fields by their
+// owning named type keeps same-named fields of different structs from
+// sharing facts (a bare "Src" key would alias every struct's Src).
 func objectKey(obj types.Object) string {
-	if fn, ok := obj.(*types.Func); ok {
-		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+	switch obj := obj.(type) {
+	case *types.Func:
+		if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
 			t := recv.Type()
 			if p, ok := t.(*types.Pointer); ok {
 				t = p.Elem()
 			}
 			if named, ok := t.(*types.Named); ok {
-				return named.Obj().Name() + "." + fn.Name()
+				return named.Obj().Name() + "." + obj.Name()
+			}
+		}
+	case *types.Var:
+		if obj.IsField() {
+			if owner := owningTypeName(obj); owner != "" {
+				return owner + "." + obj.Name()
 			}
 		}
 	}
 	return obj.Name()
+}
+
+// owningTypeName finds the package-level named type whose underlying
+// struct declares exactly this field object. Fields of anonymous
+// package-level struct variables (no owning TypeName) fall back to the
+// bare name — they cannot collide with a qualified key.
+func owningTypeName(field *types.Var) string {
+	pkg := field.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if structDeclaresField(st, field, 0) {
+			return tn.Name()
+		}
+	}
+	return ""
+}
+
+// structDeclaresField reports whether st — or an inline anonymous struct
+// nested inside it, up to a small depth — declares this exact field
+// object. Named field types are not descended into: their fields belong
+// to that type's own key space.
+func structDeclaresField(st *types.Struct, field *types.Var, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f == field {
+			return true
+		}
+		if inner, ok := f.Type().(*types.Struct); ok {
+			if structDeclaresField(inner, field, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // vetxFact is the on-disk form of one fact inside a vetx file (the go

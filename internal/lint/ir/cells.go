@@ -1,0 +1,502 @@
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Cell is the conservative store/load summary of one local variable the
+// SSA renaming cannot track — its address is taken with &x, a closure
+// captures it, or a pointer-receiver method call takes &x implicitly.
+// Where SSA answers "which definition reaches this use?", a cell answers
+// the weaker, flow-insensitive questions that remain provable once
+// pointers are involved:
+//
+//   - Stores: every value syntactically stored into the variable, whether
+//     directly (x = e) or through a local pointer that may point to it
+//     (*p = e). A may-analysis (taint) holds if any store does; a
+//     must-analysis (nil proofs) holds only if all of them do and the
+//     cell has not escaped.
+//   - Reads: how many uses read the variable, directly or through a
+//     may-aliasing pointer dereference. Zero reads on a non-escaped cell
+//     means every store is dead.
+//   - Escaped: the address left the function's view — passed to a call,
+//     returned, stored into a field/slice/map, captured by a closure, or
+//     reached a context the analysis does not enumerate. An escaped cell
+//     still supports may-claims (a store that happened, happened) but no
+//     must-claims (unseen code may store or read anything).
+//
+// The alias relation is a one-function, flow-insensitive may-points-to
+// closure: p may point to x if p is ever assigned &x or a copy of a
+// pointer that may point to x. That over-approximates aliasing, which is
+// the sound direction for every consumer.
+type Cell struct {
+	// V is the summarized variable.
+	V *types.Var
+	// Stores are the recorded store sites, in traversal (source) order.
+	Stores []CellStore
+	// Reads counts the observed read sites (direct uses and may-alias
+	// dereferences).
+	Reads int
+	// Escaped reports that the variable's address left the function's
+	// view, so the store/read sets may be incomplete.
+	Escaped bool
+}
+
+// CellStore is one recorded store into a cell.
+type CellStore struct {
+	// Pos anchors the store for diagnostics (the target identifier or the
+	// dereference expression).
+	Pos token.Pos
+	// Rhs is the stored expression when the store pairs one target with
+	// one value (or, for Tuple stores, the whole multi-value source);
+	// nil for zero-value declarations, inc/dec, op-assign and range
+	// variables, whose stored value the summary does not model.
+	Rhs ast.Expr
+	// Direct reports a store through the variable's own identifier
+	// (x = e), as opposed to a may-alias dereference (*p = e).
+	Direct bool
+	// Zero marks the implicit zero value of an uninitialized declaration.
+	Zero bool
+	// Tuple marks a store whose value is one position of a multi-value
+	// source (x, y := f()); Rhs then holds the whole source expression.
+	Tuple bool
+}
+
+// Cell returns the store/load summary for an untracked local, or nil when
+// v is SSA-tracked (use ValueAt instead) or not a local of this function.
+func (f *Func) Cell(v *types.Var) *Cell { return f.cells[v] }
+
+// Cells returns every cell in deterministic (declaration position) order.
+func (f *Func) Cells() []*Cell {
+	out := make([]*Cell, 0, len(f.cells))
+	for _, c := range f.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V.Pos() < out[j].V.Pos() })
+	return out
+}
+
+// cellBuilder holds the state of one buildCells run.
+type cellBuilder struct {
+	f *Func
+	// pts is the may-points-to relation: local pointer var -> celled
+	// locals it may address.
+	pts map[*types.Var]map[*types.Var]bool
+	// handled marks AST nodes pass 2 already classified (assignment
+	// targets, blessed &x and pointer-copy operands), so the generic
+	// ident/unary cases do not re-classify them as escapes or reads.
+	handled map[ast.Node]bool
+}
+
+// buildCells computes the store/load summaries for the function's
+// untracked locals. It runs after buildSSA, so f.tracked is final: a cell
+// is created for every local variable that appears in the body but lost
+// (or never had) SSA tracking.
+func (f *Func) buildCells() {
+	f.cells = make(map[*types.Var]*Cell)
+	if !f.hasUntracked {
+		return
+	}
+	b := &cellBuilder{
+		f:       f,
+		pts:     make(map[*types.Var]map[*types.Var]bool),
+		handled: make(map[ast.Node]bool),
+	}
+	b.pointsTo()
+	ast.Inspect(f.Decl, b.visit)
+}
+
+// local resolves obj to a variable declared inside the function, or nil.
+func (b *cellBuilder) local(obj types.Object) *types.Var {
+	v, ok := obj.(*types.Var)
+	if !ok || v == nil || v.IsField() || v.Name() == "_" {
+		return nil
+	}
+	if v.Pos() < b.f.Decl.Pos() || v.Pos() > b.f.Decl.End() {
+		return nil
+	}
+	return v
+}
+
+// celled resolves obj to an untracked local — a variable that has (or
+// should get) a cell — or nil.
+func (b *cellBuilder) celled(obj types.Object) *types.Var {
+	v := b.local(obj)
+	if v == nil || b.f.tracked[v] {
+		return nil
+	}
+	return v
+}
+
+func (b *cellBuilder) cell(v *types.Var) *Cell {
+	c := b.f.cells[v]
+	if c == nil {
+		c = &Cell{V: v}
+		b.f.cells[v] = c
+	}
+	return c
+}
+
+func (b *cellBuilder) escape(v *types.Var) { b.cell(v).Escaped = true }
+func (b *cellBuilder) read(v *types.Var)   { b.cell(v).Reads++ }
+func (b *cellBuilder) store(v *types.Var, s CellStore) {
+	c := b.cell(v)
+	c.Stores = append(c.Stores, s)
+}
+
+// escapePtr escapes everything p may point to.
+func (b *cellBuilder) escapePtr(p *types.Var) {
+	for x := range b.pts[p] {
+		b.escape(x)
+	}
+}
+
+// lhsVar resolves a simple-identifier assignment target to its local
+// variable (Defs for :=, Uses for plain assignment), or nil.
+func (b *cellBuilder) lhsVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v := b.local(b.f.Info.Defs[id]); v != nil {
+		return v
+	}
+	return b.local(b.f.Info.Uses[id])
+}
+
+// addrOf returns the celled local whose address the expression takes
+// (&x, possibly parenthesized), or nil.
+func (b *cellBuilder) addrOf(e ast.Expr) *types.Var {
+	ue, ok := unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	id, ok := unparen(ue.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return b.celled(b.f.Info.Uses[id])
+}
+
+// eachPair walks an assignment's (lhs, rhs) pairs; rhs is nil for every
+// target of an unpaired (tuple) assignment.
+func eachPair(lhs, rhs []ast.Expr, fn func(l, r ast.Expr)) {
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			fn(lhs[i], rhs[i])
+		}
+		return
+	}
+	for _, l := range lhs {
+		fn(l, nil)
+	}
+}
+
+// pointsTo builds the flow-insensitive may-points-to closure. Direct
+// edges come from p = &x; copy edges (q = p) are collected first and
+// closed transitively, because q = p may precede p = &x in source order
+// while still aliasing at runtime inside a loop.
+func (b *cellBuilder) pointsTo() {
+	copyEdges := make(map[*types.Var]map[*types.Var]bool) // dst -> srcs
+	addPts := func(p, x *types.Var) {
+		s := b.pts[p]
+		if s == nil {
+			s = make(map[*types.Var]bool)
+			b.pts[p] = s
+		}
+		s[x] = true
+	}
+	record := func(l, r ast.Expr) {
+		p := b.lhsVar(l)
+		if p == nil || r == nil {
+			return
+		}
+		if x := b.addrOf(r); x != nil {
+			addPts(p, x)
+			return
+		}
+		if id, ok := unparen(r).(*ast.Ident); ok {
+			if q := b.local(b.f.Info.Uses[id]); q != nil && ptrVar(q) {
+				s := copyEdges[p]
+				if s == nil {
+					s = make(map[*types.Var]bool)
+					copyEdges[p] = s
+				}
+				s[q] = true
+			}
+		}
+	}
+	ast.Inspect(b.f.Decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			eachPair(n.Lhs, n.Rhs, record)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, id := range n.Names {
+				lhs[i] = id
+			}
+			eachPair(lhs, n.Values, record)
+		}
+		return true
+	})
+	// Transitive closure over copy edges; the sets only grow, bounded by
+	// #cells × #pointer vars.
+	for changed := true; changed; {
+		changed = false
+		for p, srcs := range copyEdges {
+			for q := range srcs {
+				for x := range b.pts[q] {
+					if !b.pts[p][x] {
+						addPts(p, x)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// blessRhs marks an alias-creating right-hand side (a blessed &x or a
+// pointer copy feeding a simple local target) as handled, so the generic
+// cases do not classify it as an escape.
+func (b *cellBuilder) blessRhs(r ast.Expr) {
+	if r == nil {
+		return
+	}
+	switch e := unparen(r).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND && b.addrOf(r) != nil {
+			b.handled[e] = true
+			// Taking the address is not a read of the value: bless the
+			// inner ident so traversal does not count one.
+			if id, ok := unparen(e.X).(*ast.Ident); ok {
+				b.handled[id] = true
+			}
+		}
+	case *ast.Ident:
+		if p := b.local(b.f.Info.Uses[e]); p != nil && b.pts[p] != nil {
+			b.handled[e] = true
+		}
+	}
+}
+
+// assignTarget classifies one (lhs, rhs) pair of an assignment or
+// declaration: direct stores to celled vars, may-alias stores through
+// *p, and pointer reassignments.
+func (b *cellBuilder) assignTarget(l, r ast.Expr, nRhs int, op bool) {
+	if v := b.celled(b.lhsVar(l)); v != nil {
+		id := unparen(l)
+		rhs := r
+		tuple := r == nil && nRhs == 1
+		if op {
+			// x += e reads x, then stores a value the summary does not
+			// model (it derives from the old one).
+			b.read(v)
+			rhs, tuple = nil, false
+		}
+		b.store(v, CellStore{Pos: l.Pos(), Rhs: rhs, Direct: true, Tuple: tuple})
+		b.handled[id] = true
+		b.blessRhs(r)
+		return
+	}
+	if p := b.lhsVar(l); p != nil && (ptrVar(p) || b.pts[p] != nil) {
+		// Reassigning the pointer itself: not a cell event, and its RHS
+		// may create an alias.
+		b.handled[unparen(l)] = true
+		b.blessRhs(r)
+		return
+	}
+	if se, ok := unparen(l).(*ast.StarExpr); ok {
+		if id, ok := unparen(se.X).(*ast.Ident); ok {
+			if p := b.local(b.f.Info.Uses[id]); p != nil {
+				rhs := r
+				tuple := r == nil && nRhs == 1
+				if op {
+					rhs, tuple = nil, false
+				}
+				for x := range b.pts[p] {
+					if op {
+						b.read(x)
+					}
+					b.store(x, CellStore{Pos: se.Pos(), Rhs: rhs, Tuple: tuple})
+				}
+				b.handled[se] = true
+				b.handled[id] = true
+			}
+		}
+	}
+}
+
+// visit is the pass-2 classifier. Any appearance of a celled variable or
+// an aliasing pointer in a context the cases below do not bless is an
+// escape — unknown uses must never strengthen a must-claim.
+func (b *cellBuilder) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		op := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+		// For unpaired assignments the shared source is n.Rhs[0].
+		tupleSrc := ast.Expr(nil)
+		if len(n.Lhs) != len(n.Rhs) && len(n.Rhs) == 1 {
+			tupleSrc = n.Rhs[0]
+		}
+		eachPair(n.Lhs, n.Rhs, func(l, r ast.Expr) {
+			if r == nil && tupleSrc != nil {
+				b.assignTarget(l, nil, 1, op)
+				// Record the shared source on the store just appended.
+				if v := b.celled(b.lhsVar(l)); v != nil && !op {
+					c := b.cell(v)
+					c.Stores[len(c.Stores)-1].Rhs = tupleSrc
+				}
+				return
+			}
+			b.assignTarget(l, r, len(n.Rhs), op)
+		})
+
+	case *ast.ValueSpec:
+		for i, id := range n.Names {
+			var r ast.Expr
+			switch {
+			case len(n.Values) == len(n.Names):
+				r = n.Values[i]
+			case len(n.Values) == 1:
+				r = n.Values[0]
+			}
+			if v := b.celled(b.f.Info.Defs[id]); v != nil {
+				switch {
+				case len(n.Values) == 0:
+					b.store(v, CellStore{Pos: id.Pos(), Direct: true, Zero: true})
+				case len(n.Values) == len(n.Names):
+					b.store(v, CellStore{Pos: id.Pos(), Rhs: r, Direct: true})
+				default:
+					b.store(v, CellStore{Pos: id.Pos(), Rhs: r, Direct: true, Tuple: true})
+				}
+				b.handled[id] = true
+				b.blessRhs(r)
+				continue
+			}
+			if p := b.local(b.f.Info.Defs[id]); p != nil && (ptrVar(p) || b.pts[p] != nil) {
+				b.handled[id] = true
+				b.blessRhs(r)
+			}
+		}
+
+	case *ast.IncDecStmt:
+		if id, ok := unparen(n.X).(*ast.Ident); ok {
+			if v := b.celled(b.f.Info.Uses[id]); v != nil {
+				b.read(v)
+				b.store(v, CellStore{Pos: id.Pos(), Direct: true})
+				b.handled[id] = true
+			}
+		}
+
+	case *ast.RangeStmt:
+		for _, e := range [2]ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if v := b.celled(b.f.Info.Uses[id]); v != nil {
+					b.store(v, CellStore{Pos: id.Pos(), Direct: true})
+					b.handled[id] = true
+				}
+			}
+		}
+
+	case *ast.StarExpr:
+		// A dereference not consumed as an assignment target is a read
+		// through the pointer.
+		if b.handled[n] {
+			return true
+		}
+		if id, ok := unparen(n.X).(*ast.Ident); ok {
+			if p := b.local(b.f.Info.Uses[id]); p != nil {
+				for x := range b.pts[p] {
+					b.read(x)
+				}
+				b.handled[id] = true
+			}
+		}
+
+	case *ast.SelectorExpr:
+		// x.M() on a celled x where M has a pointer receiver takes &x
+		// implicitly: the address escapes into the method. Field selection
+		// and value-receiver methods are plain reads (handled by the
+		// ident case).
+		if sel, ok := b.f.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				if v := b.celled(b.f.Info.Uses[id]); v != nil {
+					if m, ok := sel.Obj().(*types.Func); ok {
+						if recv := m.Type().(*types.Signature).Recv(); recv != nil {
+							_, recvPtr := recv.Type().Underlying().(*types.Pointer)
+							_, exprPtr := sel.Recv().Underlying().(*types.Pointer)
+							if recvPtr && !exprPtr {
+								b.escape(v)
+								b.read(v)
+								b.handled[id] = true
+							}
+						}
+					}
+				}
+			}
+		}
+
+	case *ast.UnaryExpr:
+		// &x in any context the assignment cases did not bless: the
+		// address escapes (call argument, return value, composite
+		// literal, field store, ...).
+		if n.Op == token.AND && !b.handled[n] {
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				if v := b.celled(b.f.Info.Uses[id]); v != nil {
+					b.escape(v)
+					b.handled[id] = true
+				}
+			}
+		}
+
+	case *ast.FuncLit:
+		// Everything a closure touches escapes and counts as read: the
+		// literal may run at any time, before or after any store.
+		ast.Inspect(n, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			for _, obj := range [2]types.Object{b.f.Info.Uses[id], b.f.Info.Defs[id]} {
+				if v := b.celled(obj); v != nil {
+					b.escape(v)
+					b.read(v)
+				}
+				if p := b.local(obj); p != nil {
+					b.escapePtr(p)
+				}
+			}
+			return true
+		})
+		return false
+
+	case *ast.Ident:
+		if b.handled[n] {
+			return true
+		}
+		if v := b.celled(b.f.Info.Uses[n]); v != nil {
+			b.read(v)
+		}
+		if p := b.local(b.f.Info.Uses[n]); p != nil && b.pts[p] != nil {
+			// The pointer itself used in an unblessed context (call
+			// argument, return, field store, comparison): everything it
+			// may point to escapes.
+			b.escapePtr(p)
+		}
+	}
+	return true
+}
+
+// ptrVar reports whether v has pointer type (it can participate in the
+// alias relation even before anything points anywhere).
+func ptrVar(v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	_, ok := v.Type().Underlying().(*types.Pointer)
+	return ok
+}

@@ -1,0 +1,255 @@
+package ir
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildFor typechecks one file and returns the IR of the named function.
+func buildFor(t *testing.T, src, name string) *Func {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cells.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	if _, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return Build(info, fd)
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// cellByName finds the cell of the named variable.
+func cellByName(t *testing.T, fn *Func, name string) *Cell {
+	t.Helper()
+	for _, c := range fn.Cells() {
+		if c.V.Name() == name {
+			return c
+		}
+	}
+	t.Fatalf("no cell for %q (cells: %d)", name, len(fn.Cells()))
+	return nil
+}
+
+// TestCellPointerStore pins the core shape: a local written only through
+// &x aliases gets a cell recording both stores, the read, and no escape.
+func TestCellPointerStore(t *testing.T) {
+	fn := buildFor(t, `package p
+
+func f() int {
+	x := 1
+	p := &x
+	*p = 2
+	return x
+}
+`, "f")
+	c := cellByName(t, fn, "x")
+	if c.Escaped {
+		t.Error("x escaped: &x only ever fed a local pointer")
+	}
+	if len(c.Stores) != 2 {
+		t.Fatalf("stores = %d, want 2 (x := 1 and *p = 2)", len(c.Stores))
+	}
+	if !c.Stores[0].Direct || c.Stores[1].Direct {
+		t.Errorf("store directness = %v, %v; want direct then indirect", c.Stores[0].Direct, c.Stores[1].Direct)
+	}
+	if c.Reads != 1 {
+		t.Errorf("reads = %d, want 1 (return x)", c.Reads)
+	}
+	// x is untracked by SSA but summarized by the cell.
+	if fn.Tracked(c.V) {
+		t.Error("address-taken x still SSA-tracked")
+	}
+}
+
+// TestCellAliasCopyAndTransitivity: a copied pointer aliases the same
+// cell, including when the copy precedes the address-take in source.
+func TestCellAliasCopyAndTransitivity(t *testing.T) {
+	fn := buildFor(t, `package p
+
+func f(cond bool) int {
+	x := 0
+	var q *int
+	for i := 0; i < 2; i++ {
+		if q != nil {
+			*q = 7
+		}
+		p := &x
+		q = p
+	}
+	return x
+}
+`, "f")
+	c := cellByName(t, fn, "x")
+	stores := 0
+	for _, s := range c.Stores {
+		if !s.Direct {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Errorf("indirect stores = %d, want 1 (*q = 7 reaches x through the copy chain)", stores)
+	}
+}
+
+// TestCellEscapes enumerates the escape contexts.
+func TestCellEscapes(t *testing.T) {
+	src := `package p
+
+func sink(p *int)
+
+type box struct{ p *int }
+
+func call() { x := 0; sink(&x) }
+func ret() *int { x := 0; return &x }
+func field() box { x := 0; return box{p: &x} }
+func capt() func() int {
+	x := 0
+	return func() int { x++; return x }
+}
+func ptrEscape() {
+	x := 0
+	p := &x
+	sink(p)
+}
+`
+	for _, name := range []string{"call", "ret", "field", "capt", "ptrEscape"} {
+		fn := buildFor(t, src, name)
+		c := cellByName(t, fn, "x")
+		if !c.Escaped {
+			t.Errorf("%s: x did not escape", name)
+		}
+	}
+}
+
+// TestCellNoEscapeNoReads: stores through a purely local alias with no
+// reads — the dead-store shape unusedwrite narrows its exemption with.
+func TestCellNoEscapeNoReads(t *testing.T) {
+	fn := buildFor(t, `package p
+
+func f() {
+	x := 1
+	p := &x
+	*p = 2
+}
+`, "f")
+	c := cellByName(t, fn, "x")
+	if c.Escaped {
+		t.Error("x escaped")
+	}
+	if c.Reads != 0 {
+		t.Errorf("reads = %d, want 0", c.Reads)
+	}
+	if len(c.Stores) != 2 {
+		t.Errorf("stores = %d, want 2", len(c.Stores))
+	}
+}
+
+// TestCellZeroAndTupleStores pin the store classification used by the
+// nil provers (Zero counts as provably zero-valued, Tuple does not).
+func TestCellZeroAndTupleStores(t *testing.T) {
+	fn := buildFor(t, `package p
+
+func pair() (int, error) { return 0, nil }
+
+func f() error {
+	var err error
+	p := &err
+	_ = p
+	_, err = pair()
+	return err
+}
+`, "f")
+	c := cellByName(t, fn, "err")
+	// _ = p is an unblessed pointer use: conservative escape.
+	if !c.Escaped {
+		t.Error("err should escape through _ = p (unblessed context)")
+	}
+	var zero, tuple int
+	for _, s := range c.Stores {
+		if s.Zero {
+			zero++
+		}
+		if s.Tuple {
+			tuple++
+		}
+	}
+	if zero != 1 || tuple != 1 {
+		t.Errorf("zero/tuple stores = %d/%d, want 1/1", zero, tuple)
+	}
+}
+
+// TestCellImplicitReceiver: calling a pointer-receiver method on an
+// addressable local takes &x implicitly — the cell must escape.
+func TestCellImplicitReceiver(t *testing.T) {
+	fn := buildFor(t, `package p
+
+type counter int
+
+func (c *counter) bump() { *c++ }
+
+func f() int {
+	var c counter
+	c.bump()
+	return int(c)
+}
+`, "f")
+	cell := cellByName(t, fn, "c")
+	if !cell.Escaped {
+		t.Error("implicit &c receiver did not escape the cell")
+	}
+}
+
+// TestCellOpAssignReads: x += through an alias both reads and stores.
+func TestCellOpAssignReads(t *testing.T) {
+	fn := buildFor(t, `package p
+
+func f() int {
+	x := 1
+	p := &x
+	*p += 2
+	return x
+}
+`, "f")
+	c := cellByName(t, fn, "x")
+	if c.Reads != 2 {
+		t.Errorf("reads = %d, want 2 (*p += reads, return x reads)", c.Reads)
+	}
+	if len(c.Stores) != 2 {
+		t.Errorf("stores = %d, want 2", len(c.Stores))
+	}
+	if c.Escaped {
+		t.Error("x escaped")
+	}
+}
+
+// TestTrackedVarsHaveNoCells: SSA-tracked locals never get cells.
+func TestTrackedVarsHaveNoCells(t *testing.T) {
+	fn := buildFor(t, `package p
+
+func f(a int) int {
+	b := a + 1
+	return b
+}
+`, "f")
+	if n := len(fn.Cells()); n != 0 {
+		t.Errorf("all-tracked function has %d cells", n)
+	}
+}

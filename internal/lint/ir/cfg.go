@@ -71,6 +71,11 @@ type Func struct {
 	allPhis  []*Phi
 	observed map[Value]bool
 	vars     []*types.Var // tracked vars in declaration-position order
+	// cells summarizes the untracked (address-taken, captured) locals;
+	// hasUntracked records whether any candidate variable lost tracking,
+	// so cell construction can be skipped for the common all-SSA case.
+	cells        map[*types.Var]*Cell
+	hasUntracked bool
 	// atReturn records, per return statement, the value of each tracked
 	// named result reaching it (analyzers prove always-nil naked returns
 	// with it).
@@ -100,14 +105,14 @@ type builder struct {
 // labeled statement is a loop/switch/select, its break and continue
 // destinations.
 type labelInfo struct {
-	start              *Block
-	breakB, continueB  *Block
+	start             *Block
+	breakB, continueB *Block
 }
 
 // targets is one frame of the break/continue environment stack.
 type targets struct {
-	prev     *targets
-	breakB   *Block // valid break destination (loop, switch, select)
+	prev      *targets
+	breakB    *Block // valid break destination (loop, switch, select)
 	continueB *Block // non-nil only for loops
 }
 
@@ -423,5 +428,6 @@ func Build(info *types.Info, fd *ast.FuncDecl) *Func {
 	b.stmt(fd.Body, "")
 	f.computeDom()
 	f.buildSSA()
+	f.buildCells()
 	return f
 }

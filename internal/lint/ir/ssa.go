@@ -178,7 +178,8 @@ func (f *Func) collectVars() {
 
 	// Disqualifiers.
 	drop := func(v *types.Var) {
-		if v != nil {
+		if v != nil && f.tracked[v] {
+			f.hasUntracked = true
 			delete(f.tracked, v)
 		}
 	}

@@ -33,6 +33,7 @@ func TestErrFlowFixture(t *testing.T)        { RunFixture(t, ErrFlow, "errflow")
 func TestUnitMixFixture(t *testing.T)        { RunFixture(t, UnitMix, "unitmix") }
 func TestNilnessFixture(t *testing.T)        { RunFixture(t, Nilness, "nilness") }
 func TestUnusedWriteFixture(t *testing.T)    { RunFixture(t, UnusedWrite, "unusedwrite") }
+func TestAllocFlowFixture(t *testing.T)      { RunFixture(t, AllocFlow, "allocflow") }
 
 // TestDirectives drives the suppression machinery (line, trailing, file
 // and wildcard forms) plus the lintdirective findings for malformed

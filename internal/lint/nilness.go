@@ -91,7 +91,12 @@ func runNilness(pass *Pass) error {
 
 // nilnessFunc runs the fixpoint for one function and reports findings.
 func nilnessFunc(pass *Pass, fn *ir.Func) {
-	a := &nilnessAnalysis{pass: pass, fn: fn, defsByStmt: make(map[ast.Node][]*ir.Def)}
+	a := &nilnessAnalysis{
+		pass:       pass,
+		fn:         fn,
+		defsByStmt: make(map[ast.Node][]*ir.Def),
+		busyCell:   make(map[*ir.Cell]bool),
+	}
 	for _, d := range fn.Defs() {
 		a.defsByStmt[d.Stmt] = append(a.defsByStmt[d.Stmt], d)
 	}
@@ -114,6 +119,44 @@ type nilnessAnalysis struct {
 	pass       *Pass
 	fn         *ir.Func
 	defsByStmt map[ast.Node][]*ir.Def
+	// busyCell breaks recursion through self-referential cell stores.
+	busyCell map[*ir.Cell]bool
+}
+
+// cellNilState is the flow-insensitive nil state of an address-taken
+// local: decidable only when the cell has not escaped (a leaked address
+// admits unseen stores) and every recorded store — including the
+// declaration's initial value — agrees on the same state. Stores the
+// summary does not model (tuple positions, op-assigns, range variables)
+// widen to unknown.
+func (a *nilnessAnalysis) cellNilState(c *ir.Cell) nilState {
+	if c.Escaped || len(c.Stores) == 0 || a.busyCell[c] {
+		return unknownNil
+	}
+	a.busyCell[c] = true
+	defer delete(a.busyCell, c)
+	agreed := unknownNil
+	for i, s := range c.Stores {
+		st := unknownNil
+		switch {
+		case s.Zero:
+			if nilZero(c.V.Type()) {
+				st = isNil
+			}
+		case s.Tuple || s.Rhs == nil:
+			st = unknownNil
+		default:
+			st = a.exprNilState(nil, s.Rhs)
+		}
+		if st == unknownNil {
+			return unknownNil
+		}
+		if i > 0 && agreed != st {
+			return unknownNil
+		}
+		agreed = st
+	}
+	return agreed
 }
 
 // state resolves a value's nil state at a program point: the flow fact if
@@ -166,12 +209,21 @@ func (a *nilnessAnalysis) exprNilState(st nilFacts, e ast.Expr) nilState {
 		if isNilExpr(a.pass.TypesInfo, e) {
 			return isNil
 		}
-		if st == nil {
-			return unknownNil
-		}
-		if v, ok := a.pass.TypesInfo.Uses[e].(*types.Var); ok && a.fn.Tracked(v) {
-			if val := a.fn.ValueAt(e); val != nil {
-				return a.state(st, val)
+		if v, ok := a.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			if a.fn.Tracked(v) {
+				if st == nil {
+					return unknownNil
+				}
+				if val := a.fn.ValueAt(e); val != nil {
+					return a.state(st, val)
+				}
+				return unknownNil
+			}
+			// Address-taken locals resolve through their cell summary,
+			// which is flow-insensitive and therefore valid even on the
+			// syntax-only (st == nil) path.
+			if c := a.fn.Cell(v); c != nil {
+				return a.cellNilState(c)
 			}
 		}
 		return unknownNil
@@ -381,7 +433,13 @@ func (a *nilnessAnalysis) checkDerefs(st nilFacts, n ast.Node) {
 			return nil, unknownNil
 		}
 		v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
-		if !ok || !a.fn.Tracked(v) {
+		if !ok {
+			return nil, unknownNil
+		}
+		if !a.fn.Tracked(v) {
+			if c := a.fn.Cell(v); c != nil {
+				return id, a.cellNilState(c)
+			}
 			return nil, unknownNil
 		}
 		val := a.fn.ValueAt(id)

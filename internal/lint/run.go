@@ -118,6 +118,7 @@ func (m *Module) waves() [][]*Package {
 func analyzePackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, store *factStore) []Finding {
 	sup, out := collectDirectives(fset, pkg.Files, knownCheckNames(analyzers))
 	irs := newIRCache() // one IR per function, shared by every analyzer below
+	cg := &cgCache{}    // one call graph per package, likewise shared
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -127,6 +128,7 @@ func analyzePackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, st
 			TypesInfo: pkg.Info,
 			facts:     store,
 			irs:       irs,
+			cg:        cg,
 		}
 		var got []Finding
 		pass.Report = func(d Diagnostic) {
@@ -262,11 +264,24 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 				}
 				pos := fset.Position(c.Pos())
 				fields := strings.Fields(text)
+				if len(fields) > 0 && (fields[0] == "hotpath" || fields[0] == "coldpath") {
+					// Annotations consumed by allocflow, not suppressions.
+					// They still demand a reason: an unexplained hot or
+					// cold path is unreviewable.
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Analyzer: "lintdirective",
+							Pos:      pos,
+							Message:  fmt.Sprintf("malformed //lint:%s annotation: want \"//lint:%s <reason>\" with a non-empty reason", fields[0], fields[0]),
+						})
+					}
+					continue
+				}
 				if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
 					bad = append(bad, Finding{
 						Analyzer: "lintdirective",
 						Pos:      pos,
-						Message:  fmt.Sprintf("unknown //lint: directive %q (want ignore or file-ignore)", text),
+						Message:  fmt.Sprintf("unknown //lint: directive %q (want ignore, file-ignore, hotpath or coldpath)", text),
 					})
 					continue
 				}

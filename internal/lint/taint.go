@@ -18,9 +18,10 @@ import (
 // deterministic package reads it back out — a pure call-graph analysis
 // never sees that flow.
 //
-// Field facts are keyed by the field's name within its package (see
-// objectKey); two same-named fields in one package therefore share taint.
-// That can only over-approximate, never hide a flow.
+// Field facts are keyed by `Type.Field` within their package (see
+// objectKey), so two same-named fields of different named types no longer
+// share taint. Fields of anonymous struct types still key by bare name,
+// which can only over-approximate, never hide a flow.
 type TaintFact struct {
 	// Reason describes how the stored value reaches nondeterminism, e.g.
 	// "is time.Now" or "comes from helpers.GlobalRNG (which calls time.Now)".
@@ -46,8 +47,11 @@ func (f *TaintFact) String() string { return f.Reason }
 // edges), so taint survives aliasing and branch joins; stores to struct
 // fields and package-level variables are accumulated in objTaint (and
 // exported as TaintFacts) so taint survives a round trip through the
-// heap. Variables the IR cannot track (address-taken, captured) resolve
-// to clean — the engine under-approximates rather than invent findings.
+// heap. Address-taken locals the SSA renamer drops resolve through their
+// store/load cells (ir.Cell): tainted if any recorded store — direct or
+// through a may-aliasing pointer — is tainted. Stores the cell summary
+// does not model read as clean, keeping the engine's under-approximation
+// direction: it misses findings rather than inventing them.
 type taintEngine struct {
 	pass *Pass
 	// funcReason reports why calling fn is (transitively)
@@ -68,6 +72,7 @@ type taintEngine struct {
 	// through an acyclic edge the traversal still explores).
 	busy     map[ir.Value]bool
 	busyLit  map[*ast.FuncLit]bool
+	busyCell map[*ir.Cell]bool
 	sawCycle bool
 }
 
@@ -89,6 +94,7 @@ func (t *taintEngine) resetMemos() {
 	t.lits = make(map[*ast.FuncLit]string)
 	t.busy = make(map[ir.Value]bool)
 	t.busyLit = make(map[*ast.FuncLit]bool)
+	t.busyCell = make(map[*ir.Cell]bool)
 }
 
 // setObjTaint records the first taint reason for a stored location and
@@ -166,7 +172,37 @@ func (t *taintEngine) ident(fn *ir.Func, id *ast.Ident) string {
 			}
 			return ""
 		}
+		if fn != nil {
+			if c := fn.Cell(obj); c != nil {
+				if r := t.cellTaint(fn, c); r != "" {
+					return r
+				}
+			}
+		}
 		return t.object(obj)
+	}
+	return ""
+}
+
+// cellTaint is the may-taint of an address-taken local: tainted if any
+// recorded store — direct x = e or through a may-aliasing pointer
+// *p = e — stores a tainted value. Escape does not matter for a
+// may-claim, and stores the summary does not model (inc/dec, range,
+// op-assign) read as clean, matching the engine's under-approximation.
+// busyCell breaks self-referential stores (x = x + draw()).
+func (t *taintEngine) cellTaint(fn *ir.Func, c *ir.Cell) string {
+	if t.busyCell[c] {
+		return ""
+	}
+	t.busyCell[c] = true
+	defer delete(t.busyCell, c)
+	for _, s := range c.Stores {
+		if s.Rhs == nil {
+			continue
+		}
+		if r := t.expr(fn, s.Rhs); r != "" {
+			return r
+		}
 	}
 	return ""
 }

@@ -1,0 +1,32 @@
+// Package helpers sits in a dependency of the hot fixture package: no
+// hotpath roots live here, so nothing is reported, but the analyzer must
+// export AllocFacts for the may-allocating functions so the hot package
+// sees allocation through the package boundary.
+package helpers
+
+var sink interface{}
+
+// Sum is allocation-free; calling it from a hot path is fine.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Record boxes its argument into an interface — it may allocate, and the
+// exported fact says so.
+func Record(x float64) {
+	sink = x
+}
+
+// Grow appends — may allocate, two hops from the hot root.
+func Grow(xs []float64, x float64) []float64 {
+	return append(xs, x)
+}
+
+// Wrap reaches allocation only through a same-package call.
+func Wrap(xs []float64, x float64) []float64 {
+	return Grow(xs, x)
+}

@@ -1,0 +1,140 @@
+// Package hot exercises the allocflow gate: functions reachable from
+// //lint:hotpath roots must be provably allocation-free, and every
+// allocating construct — local or buried in a callee — must surface as a
+// finding naming the root it poisons.
+package hot
+
+import (
+	"errors"
+	"math"
+	"strconv"
+
+	"repro/internal/lint/testdata/src/allocflow/helpers"
+)
+
+type consumer interface{ put(float64) }
+
+// Workspace is the warm state: preallocated buffers, no per-step growth.
+type Workspace struct {
+	buf  []float64
+	out  consumer
+	step func(float64) float64
+}
+
+// Step is the clean root: allowlisted stdlib, a proven-clean module
+// callee, dynamic dispatch (policy-exempt), and a clean local helper.
+//
+//lint:hotpath the per-tick solve must not allocate
+func (w *Workspace) Step(x float64) float64 {
+	w.buf[0] = math.Abs(x)
+	y := helpers.Sum(w.buf)
+	y = w.step(y)
+	w.out.put(y)
+	return clamp(y)
+}
+
+// clamp is reached from Step and is allocation-free.
+func clamp(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+var sink interface{}
+
+// Dirty collects every direct allocating construct in one body.
+//
+//lint:hotpath exercise the local site kinds
+func Dirty(n int, m map[string]int, s []float64, name string) {
+	buf := make([]float64, n) // want `allocation on the hot path rooted at Dirty: calls make`
+	s = append(s, 1)          // want `rooted at Dirty: appends to a slice`
+	m["k"] = n                // want `rooted at Dirty: writes to a map`
+	f := func() float64 {     // want `rooted at Dirty: creates a func literal`
+		return s[0] + buf[0]
+	}
+	go idle()           // want `rooted at Dirty: starts a goroutine`
+	defer idle()        // want `rooted at Dirty: defers a call`
+	name += "!"         // want `rooted at Dirty: concatenates strings`
+	_ = []byte(name)    // want `rooted at Dirty: converts between string and byte/rune slice`
+	_ = strconv.Itoa(n) // want `rooted at Dirty: calls strconv.Itoa, which is outside the allocation-free allowlist`
+	_ = f()
+}
+
+func idle() {}
+
+// Solve is the acceptance case: the boxing hides inside a callee, and
+// the finding lands on the callee's boxing site, named after the root.
+//
+//lint:hotpath solver inner loop
+func Solve(x float64) float64 {
+	return inner(x)
+}
+
+// inner is allocation-free itself but reaches record.
+func inner(x float64) float64 {
+	record(x)
+	return x * 2
+}
+
+// record boxes its float64 into the package sink.
+func record(x float64) {
+	sink = x // want `rooted at Solve: boxes a float64 into an interface`
+}
+
+// PointerShapes passes already-pointer-shaped values into interfaces:
+// the interface word holds them directly, nothing allocates.
+//
+//lint:hotpath pointer-shaped boxing is free
+func PointerShapes(w *Workspace, f func(float64) float64) {
+	sink = w
+	sink = f
+}
+
+// Parse allocates only on its failing return and in a panic argument —
+// both are cold by definition and exempt.
+//
+//lint:hotpath errors and panics are cold paths
+func Parse(ok bool, n int) (float64, error) {
+	if n < 0 {
+		panic("bad count: " + strconv.Itoa(n))
+	}
+	if !ok {
+		return 0, errors.New("unparseable input")
+	}
+	return 1, nil
+}
+
+// Tick grows its buffer only through a reviewed coldpath callee, where
+// the walk stops.
+//
+//lint:hotpath growth is amortized in reserve
+func Tick(w *Workspace) {
+	w.reserve()
+	w.buf[0] = 0
+}
+
+// reserve is the amortized growth slot; the annotation is load-bearing.
+//
+//lint:coldpath amortized doubling, reviewed with the workspace design
+func (w *Workspace) reserve() {
+	if len(w.buf) == 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Emit calls may-allocating functions across the package boundary; the
+// imported AllocFacts carry the reason chains.
+//
+//lint:hotpath fact propagation across packages
+func Emit(x float64) {
+	helpers.Record(x)        // want `rooted at Emit: calls repro/internal/lint/testdata/src/allocflow/helpers.Record \(which boxes a float64 into an interface\)`
+	_ = helpers.Wrap(nil, x) // want `rooted at Emit: calls repro/internal/lint/testdata/src/allocflow/helpers.Wrap \(which calls Grow \(which appends to a slice`
+	_ = helpers.Sum(nil)
+}
+
+// NotARoot allocates freely: no hotpath annotation, no findings — the
+// fact machinery records it for callers, the gate stays quiet.
+func NotARoot(n int) []int {
+	return make([]int, n)
+}

@@ -57,3 +57,26 @@ func Seeded(seed int64) float64 {
 	r := rand.New(rand.NewSource(seed))
 	return r.Float64()
 }
+
+// Ticker carries the wall clock in a function-typed field; the stored
+// taint is exported keyed by the owning type (Ticker.Src).
+type Ticker struct {
+	Src func() float64
+}
+
+// NewTicker stores the nondeterministic source.
+func NewTicker() *Ticker {
+	return &Ticker{Src: Jitter}
+}
+
+// Counter spells its field exactly like Ticker's, but stores a
+// deterministic source: under type-qualified fact keys the two fields
+// never share taint.
+type Counter struct {
+	Src func() float64
+}
+
+// NewCounter stores the deterministic source.
+func NewCounter() *Counter {
+	return &Counter{Src: Unit}
+}

@@ -81,3 +81,46 @@ func (s *smuggled) Sample() float64 {
 func (s *smuggled) Stamp() time.Time {
 	return s.now() // want `call through nondeterministic function value`
 }
+
+// twin spells its generator field exactly like smuggled's tainted one.
+// Field facts are keyed by receiver type (Type.Field), not bare field
+// name, so smuggled's taint must not bleed over: twin's seeded generator
+// draws cleanly.
+type twin struct {
+	rng *rand.Rand
+	now func() time.Time
+}
+
+func newTwin(seed int64) *twin {
+	return &twin{
+		rng: rand.New(rand.NewSource(seed)),
+		now: simulatedClock,
+	}
+}
+
+// simulatedClock is a deterministic stand-in sharing helpers.Clock's
+// signature.
+func simulatedClock() time.Time { return time.Time{} }
+
+// Sample draws from the seeded generator through the same-named field:
+// no finding, the taint belongs to smuggled.rng alone.
+func (t *twin) Sample() float64 {
+	return t.rng.Float64()
+}
+
+// Stamp calls through the same-named function field: clean for twin.
+func (t *twin) Stamp() int64 {
+	return t.now().UnixNano()
+}
+
+// useTicker calls through the imported tainted field: the TaintFact
+// (keyed Ticker.Src) crosses the package boundary.
+func useTicker(tk *helpers.Ticker) float64 {
+	return tk.Src() // want `call through nondeterministic function value`
+}
+
+// useCounter calls through the same-named field of the other type: the
+// type-qualified key keeps Counter.Src clean, so no finding.
+func useCounter(c *helpers.Counter) float64 {
+	return c.Src()
+}

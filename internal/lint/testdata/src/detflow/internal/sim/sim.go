@@ -67,3 +67,22 @@ func closure() float64 {
 	}
 	return f() // want `call through nondeterministic function value`
 }
+
+// pointerLaunder stores a tainted function value through a pointer to an
+// address-taken local; the cell summary resolves the indirect store, so
+// the call through f is still caught.
+func pointerLaunder() float64 {
+	f := helpers.Unit
+	p := &f
+	*p = helpers.Jitter
+	return f() // want `call through nondeterministic function value`
+}
+
+// pointerClean writes only deterministic values through the alias: the
+// address-taken local stays clean and the call is not reported.
+func pointerClean() float64 {
+	f := helpers.Unit
+	p := &f
+	*p = helpers.Unit
+	return f()
+}

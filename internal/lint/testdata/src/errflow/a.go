@@ -104,3 +104,29 @@ func handledStores(h *holder) error {
 	en = dep.Sometimes(4)
 	return en
 }
+
+// localPtrNil proves always-nil through an address-taken local: every
+// store — the zero-value declaration and the write through the alias —
+// is nil, and the address never leaves the function, so the cell summary
+// sustains the proof.
+func localPtrNil() error {
+	var err error
+	p := &err
+	*p = nil
+	return err
+}
+
+// localPtrEscapes hands the address to another function; the cell
+// escapes, the proof is refused, and callers must handle the error.
+func localPtrEscapes() error {
+	var err error
+	fill(&err)
+	return err
+}
+
+func fill(p *error) { *p = fmt.Errorf("filled") }
+
+func cells() {
+	localPtrNil()
+	localPtrEscapes() // want `error returned by .*errflow.localPtrEscapes is discarded`
+}

@@ -111,3 +111,36 @@ func suppressed(n *node) int {
 	}
 	return n.val
 }
+
+// cellAlwaysNil stays provably nil even though its address is taken: the
+// zero value and the store through the alias agree on nil, and the
+// address never escapes, so the dereference is still caught.
+func cellAlwaysNil() int {
+	var p *int
+	q := &p
+	*q = nil
+	return *p // want `dereference of nil pointer p: it is always nil here`
+}
+
+// cellAssignedNonNil is written non-nil through its alias; the stores
+// disagree, the cell state is unknown, and nothing is reported.
+func cellAssignedNonNil(x *int) int {
+	var p *int
+	q := &p
+	*q = x
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// cellEscapes loses the proof the moment the address leaves the
+// function: whatever holds the pointer may write through it.
+func cellEscapes(sink func(**int)) int {
+	var p *int
+	sink(&p)
+	if p == nil {
+		return 0
+	}
+	return *p
+}

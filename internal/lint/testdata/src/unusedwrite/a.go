@@ -67,3 +67,23 @@ func errorStoreExempt() error {
 	err = nil
 	return err
 }
+
+// The historical address-taken exemption is narrowed by the cell
+// summaries: when the address never escapes and no path reads the
+// variable — directly or through any alias — every store is dead,
+// including the ones through the pointer.
+func addressTakenDead() int {
+	x := 1 // want `value assigned to x is never read; no path reads it directly or through its pointer aliases`
+	p := &x
+	*p = 2 // want `value stored to x through a pointer is never read`
+	x = 3  // want `value assigned to x is never read; no path reads it directly or through its pointer aliases`
+	return 0
+}
+
+// Once the address escapes, writes may be observed by whoever holds the
+// pointer; the exemption stands and nothing is reported.
+func addressTakenEscapes(sink func(*int)) {
+	x := 1
+	sink(&x)
+	x = 2
+}

@@ -24,10 +24,13 @@ var UnusedWrite = &Analyzer{
 An assignment that no path observes — every successor either overwrites
 the variable or lets it die — is at best wasted work and at worst a bug:
 the computed value was meant to go somewhere. The SSA form makes the
-check exact for tracked variables (address-taken and closure-captured
-variables are skipped, since writes to them may be read elsewhere).
-Error-typed stores are left to errflow, which pairs the same dead-store
-evidence with always-nil provenance.`,
+check exact for tracked variables. Address-taken locals are checked
+through their cell summaries: when the address provably never leaves the
+function and no use reads the variable (directly or through any local
+pointer), every store to it is dead too. Cells that escape — to a call,
+a closure, a field — stay exempt, since writes to them may be read
+elsewhere. Error-typed stores are left to errflow, which pairs the same
+dead-store evidence with always-nil provenance.`,
 	Run: runUnusedWrite,
 }
 
@@ -59,9 +62,38 @@ func runUnusedWrite(pass *Pass) error {
 					pass.Reportf(d.Ident.Pos(), "value assigned to %s is never read; every path overwrites it or returns first", d.Ident.Name)
 				}
 			}
+			reportDeadCellStores(pass, irf)
 		}
 	}
 	return nil
+}
+
+// reportDeadCellStores narrows the historical address-taken exemption:
+// an address-taken local whose address provably never escapes and that no
+// use reads — directly or through any may-aliasing local pointer — has
+// only dead stores. Each recorded write (the zero-value declaration is a
+// declaration, not a write) is reported individually, so the finding
+// lands on the statement to delete. Celled variables have no SSA Defs, so
+// these findings never overlap the loop above.
+func reportDeadCellStores(pass *Pass, irf *ir.Func) {
+	for _, c := range irf.Cells() {
+		if c.Escaped || c.Reads > 0 {
+			continue
+		}
+		if implementsError(c.V.Type()) {
+			continue // errflow owns dead error stores
+		}
+		for _, s := range c.Stores {
+			if s.Zero {
+				continue
+			}
+			if s.Direct {
+				pass.Reportf(s.Pos, "value assigned to %s is never read; no path reads it directly or through its pointer aliases", c.V.Name())
+			} else {
+				pass.Reportf(s.Pos, "value stored to %s through a pointer is never read; no path reads it directly or through its pointer aliases", c.V.Name())
+			}
+		}
+	}
 }
 
 // reportableDeadStore filters definition sites down to the ones a dead

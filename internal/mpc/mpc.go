@@ -142,6 +142,8 @@ func (p *Planner) Plan(objective func(z []float64) float64) ([]float64, *optimiz
 // PlanGrad is Plan with an optional analytic gradient (grad writes
 // ∂objective/∂z into its second argument); when grad is nil the solver
 // falls back to finite differences.
+//
+//lint:hotpath the warm re-plan runs once per control step; allocflow proves it allocation-free
 func (p *Planner) PlanGrad(objective func(z []float64) float64, grad func(z, g []float64)) ([]float64, *optimize.Result, error) {
 	if objective == nil {
 		return nil, nil, errors.New("mpc: nil objective")

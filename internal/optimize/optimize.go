@@ -188,7 +188,11 @@ type Workspace struct {
 func NewWorkspace() *Workspace { return &Workspace{} }
 
 // ensure sizes the buffers for an n-dimensional problem with memory m and
-// resets the per-call state (history, evaluation counter).
+// resets the per-call state (history, evaluation counter). Buffers grow
+// only when the problem outgrows every earlier call, so the makes below
+// amortize to zero on a warm workspace.
+//
+//lint:coldpath buffer growth runs once per problem size; warm calls only reslice
 func (ws *Workspace) ensure(n, m int) {
 	if n > ws.dim {
 		ws.x = make([]float64, n)
@@ -292,9 +296,15 @@ func (ws *Workspace) pushPair(x, xNew, g, gNew []float64) {
 	} else {
 		srow = ws.sPool[k][:len(x)]
 		yrow = ws.yPool[k][:len(x)]
-		ws.sHist = append(ws.sHist, srow)
-		ws.yHist = append(ws.yHist, yrow)
-		ws.rho = append(ws.rho, 1/sy)
+		// Growing: reslice within the capacity ensure reserved — spelled as
+		// a reslice rather than append so the allocation-freedom is
+		// checkable, not a capacity argument.
+		ws.sHist = ws.sHist[:k+1]
+		ws.sHist[k] = srow
+		ws.yHist = ws.yHist[:k+1]
+		ws.yHist[k] = yrow
+		ws.rho = ws.rho[:k+1]
+		ws.rho[k] = 1 / sy
 	}
 	for i := range srow {
 		srow[i] = xNew[i] - x[i]
@@ -323,6 +333,8 @@ func Minimize(p *Problem, x0 []float64, opts *Options) (*Result, error) {
 //
 // The returned Result.X aliases workspace storage and is only valid until
 // the next call on the same workspace — copy it if it must survive.
+//
+//lint:hotpath the warm re-solve runs every MPC step; allocflow proves it allocation-free
 func (ws *Workspace) Minimize(p *Problem, x0 []float64, opts *Options) (Result, error) {
 	if err := p.validate(x0); err != nil {
 		return Result{}, err

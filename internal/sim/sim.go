@@ -152,6 +152,8 @@ func (tr *Trace) Reset() {
 
 // reserve grows each series to capacity n (keeping contents), so a run of n
 // steps appends without reallocating.
+//
+//lint:coldpath per-route capacity growth; a Scratch reused across routes hits the cap check and returns
 func (tr *Trace) reserve(n int) {
 	if cap(tr.Time) >= n {
 		return
@@ -173,6 +175,11 @@ func (tr *Trace) reserve(n int) {
 	tr.BatteryHeat = grow(tr.BatteryHeat)
 }
 
+// append records one step in every series. The appends stay within the
+// capacity reserve preallocated; only an unwarmed (scratchless) trace
+// grows here, amortized by the runtime's doubling.
+//
+//lint:coldpath appends land in reserved capacity on the warmed path; scratchless growth is amortized
 func (tr *Trace) append(t, pe, tb, tc, soc, soe, pcool, pbatt, pcap, qb float64) {
 	tr.Time = append(tr.Time, t)
 	tr.PowerRequest = append(tr.PowerRequest, pe)
@@ -280,6 +287,8 @@ func Run(plant *Plant, ctrl Controller, requests []float64, cfg Config) (Result,
 // between steps and, when it fires, abandons the route with an error
 // matching runner.ErrCanceled (and the context's own error) via errors.Is.
 // The plant is left in its mid-route state.
+//
+//lint:hotpath the vehicle-step loop is the simulator's inner loop; with a warmed Scratch it must not allocate
 func RunContext(ctx context.Context, plant *Plant, ctrl Controller, requests []float64, cfg Config) (Result, error) {
 	if err := plant.Validate(); err != nil {
 		return Result{}, err
@@ -296,23 +305,7 @@ func RunContext(ctx context.Context, plant *Plant, ctrl Controller, requests []f
 	}
 
 	res := Result{Controller: ctrl.Name(), Steps: len(requests), DT: plant.DT}
-	var forecast []float64
-	if sc := cfg.Scratch; sc != nil {
-		if cap(sc.forecast) < horizon {
-			sc.forecast = make([]float64, horizon)
-		}
-		forecast = sc.forecast[:horizon]
-		if cfg.RecordTrace {
-			sc.trace.Reset()
-			sc.trace.reserve(len(requests))
-			res.Trace = &sc.trace
-		}
-	} else {
-		forecast = make([]float64, horizon)
-		if cfg.RecordTrace {
-			res.Trace = &Trace{}
-		}
-	}
+	forecast := setupRoute(cfg, horizon, len(requests), &res)
 	safe := plant.HEES.Battery.Cell.SafeTemp
 	done := ctx.Done() // nil for context.Background(): the select never fires
 
@@ -395,6 +388,38 @@ func RunContext(ctx context.Context, plant *Plant, ctrl Controller, requests []f
 	return res, nil
 }
 
+// setupRoute acquires the forecast window and, when tracing, the trace
+// storage — from the caller's Scratch when one is provided, freshly
+// otherwise — and wires the trace into res.
+//
+//lint:coldpath per-route setup runs once before the step loop; a reused Scratch makes it allocation-free too
+func setupRoute(cfg Config, horizon, steps int, res *Result) []float64 {
+	if sc := cfg.Scratch; sc != nil {
+		if cap(sc.forecast) < horizon {
+			sc.forecast = make([]float64, horizon)
+		}
+		if cfg.RecordTrace {
+			sc.trace.Reset()
+			sc.trace.reserve(steps)
+			res.Trace = &sc.trace
+		}
+		return sc.forecast[:horizon]
+	}
+	if cfg.RecordTrace {
+		res.Trace = &Trace{}
+	}
+	return make([]float64, horizon)
+}
+
+// unknownArch builds the cannot-happen error for an unmatched ArchKind;
+// a separate cold function so executeAction stays allocation-free on the
+// matched branches.
+//
+//lint:coldpath unreachable guard: every ArchKind has a case; the error only routes to the battery fallback
+func unknownArch(arch ArchKind) error {
+	return fmt.Errorf("sim: unknown arch %v", arch)
+}
+
 // executeAction runs the storage step, falling back to the battery path on
 // infeasible commands so baseline policies cannot crash the route.
 func executeAction(plant *Plant, act Action, load float64) (hees.StepReport, bool) {
@@ -455,7 +480,7 @@ func executeAction(plant *Plant, act Action, load float64) (hees.StepReport, boo
 			return rep, true // residual rounding; the shortfall is ≤ the ESR loss
 		}
 	default:
-		err = fmt.Errorf("sim: unknown arch %v", act.Arch)
+		err = unknownArch(act.Arch)
 	}
 	if err == nil {
 		return rep, false
