@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt serve-smoke serve-bench sim-bench fleet-bench
+.PHONY: build test check race race-grids bench vet lint lint-sarif lint-vet lint-bench fmt serve-smoke serve-bench sim-bench fleet-bench hmpc-bench
 
 build:
 	$(GO) build ./...
@@ -101,3 +101,13 @@ sim-bench:
 fleet-bench:
 	FLEET_BENCH_JSON=$(CURDIR)/BENCH_fleet.json $(GO) test -run TestFleetBenchJSON -count=1 -timeout 20m ./internal/fleet
 	cat BENCH_fleet.json
+
+# Hierarchical MPC benchmark: cold outer-plan latency (the POST /v1/plan
+# cache-miss cost), the warm per-block outer replan on a drifting plant,
+# and end-to-end two-layer throughput on UDDS, written to BENCH_hmpc.json
+# (committed so planner regressions are visible in review). The harness
+# fails if the warm outer replan allocates — the zero-alloc hot-path
+# contract of the scheduling layer.
+hmpc-bench:
+	HMPC_BENCH_JSON=$(CURDIR)/BENCH_hmpc.json $(GO) test -run TestHMPCBenchJSON -count=1 -timeout 20m ./internal/hmpc
+	cat BENCH_hmpc.json

@@ -32,7 +32,7 @@ func main() {
 	log.SetPrefix("otem-experiments: ")
 
 	var (
-		run      = flag.String("run", "all", "comma-separated subset of: fig1,fig6,fig7,fig8,fig9,table1,hotspot,ablations ('all' = figures+table)")
+		run      = flag.String("run", "all", "comma-separated subset of: fig1,fig6,fig7,fig8,fig9,table1,hotspot,hmpc,ablations ('all' = figures+table)")
 		repeats  = flag.Int("repeats", 3, "cycle repetitions for the Fig. 8/9 sweep")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations per experiment (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("quiet", false, "suppress the per-experiment progress line on stderr")
@@ -110,6 +110,12 @@ func main() {
 	}
 	if selected("hotspot") {
 		r, err := experiments.HotspotContext(ctx, pool("hotspot"))
+		exit(err)
+		r.Write(out)
+		fmt.Fprintln(out)
+	}
+	if selected("hmpc") {
+		r, err := experiments.HMPCCompareContext(ctx, pool("hmpc"), experiments.HMPCScenarios())
 		exit(err)
 		r.Write(out)
 		fmt.Fprintln(out)

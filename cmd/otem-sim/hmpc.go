@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/units"
+	"repro/otem"
+)
+
+// hmpcFlags carries the -hmpc mode knobs out of main.
+type hmpcFlags struct {
+	cycle     string
+	usage     string
+	seed      int64
+	route     float64
+	repeats   int
+	ucap      float64
+	ambient   float64
+	block     float64
+	maxBlocks int
+	planOnly  bool
+	asJSON    bool
+}
+
+// spec assembles the PlanSpec. A non-empty -usage selects a synthesized
+// route and overrides -cycle.
+func (hf hmpcFlags) spec() otem.PlanSpec {
+	spec := otem.PlanSpec{
+		Cycle:        hf.cycle,
+		Repeats:      hf.repeats,
+		UltracapF:    hf.ucap,
+		AmbientK:     hf.ambient,
+		BlockSeconds: hf.block,
+		MaxBlocks:    hf.maxBlocks,
+	}
+	if hf.usage != "" {
+		spec.Cycle = ""
+		spec.Usage = hf.usage
+		spec.Seed = hf.seed
+		spec.RouteSeconds = hf.route
+	}
+	return spec
+}
+
+// runHMPC executes the two-layer hierarchical mode: -plan solves and
+// prints only the cacheable outer route plan; otherwise the full
+// hierarchical simulation runs and the summary carries the extra layer
+// counters.
+func runHMPC(hf hmpcFlags) {
+	if hf.planOnly {
+		plan, err := otem.PlanRoute(hf.spec())
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(otem.EncodePlan(plan)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	res, err := otem.SimulateHierarchical(context.Background(), hf.spec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if hf.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(otem.EncodeResult(res.Result)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printHMPCSummary(res, hf)
+}
+
+// printHMPCSummary renders the human-readable hierarchical block: the
+// flat summary plus the outer-plan shape and per-layer replan counters.
+func printHMPCSummary(res *otem.HierarchicalResult, hf hmpcFlags) {
+	route := hf.cycle
+	if hf.usage != "" {
+		route = fmt.Sprintf("synth %s (seed %d)", hf.usage, hf.seed)
+	}
+	duration := float64(res.Steps) * res.DT
+	printSummary(res.Result, route, hf.repeats, hf.ucap, duration)
+	fmt.Printf("ambient            %.1f °C\n", units.KToC(hf.ambient))
+	fmt.Printf("outer plan         %d blocks × %.0f s\n", res.Plan.Blocks, res.Plan.BlockSeconds)
+	fmt.Printf("outer replans      %d (route-start plan included)\n", res.OuterReplans)
+	fmt.Printf("inner replans      %d (%d forced by reference divergence)\n",
+		res.InnerReplans, res.DivergenceReplans)
+}

@@ -11,6 +11,13 @@
 // otem.fleet/v1 result on stdout with -json:
 //
 //	otem-sim -fleet 10000 -method Parallel -days 5 -seed 42 -parallel 8 -json
+//
+// With -hmpc the command runs the two-layer hierarchical MPC: an outer
+// route-preview planner schedules SoC and temperature references that the
+// fast OTEM layer tracks. -plan prints only the cacheable outer plan:
+//
+//	otem-sim -hmpc -cycle UDDS -ambient 308
+//	otem-sim -hmpc -usage highway -route 900 -seed 7 -plan
 package main
 
 import (
@@ -47,6 +54,15 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 
+		// Hierarchical mode (-hmpc switches over; shares -cycle, -repeats,
+		// -ucap, -seed, -route and -json with the other modes).
+		hmpc      = flag.Bool("hmpc", false, "two-layer hierarchical MPC mode: route-preview outer planner over the OTEM tracker")
+		usage     = flag.String("usage", "", "hmpc mode: synthesize the route from a fleet usage class (commuter, delivery, highway) instead of -cycle")
+		ambient   = flag.Float64("ambient", 298, "hmpc mode: ambient temperature, kelvin")
+		block     = flag.Float64("block", 30, "hmpc mode: outer planner block length, seconds")
+		maxBlocks = flag.Int("maxblocks", 64, "hmpc mode: outer horizon cap, blocks")
+		planOnly  = flag.Bool("plan", false, "hmpc mode: print only the outer route plan as otem.plan/v1 JSON")
+
 		// Fleet mode (-fleet > 0 switches over; -cycle/-repeats/-trace do
 		// not apply, routes are synthesized per vehicle from the seed).
 		fleet    = flag.Int("fleet", 0, "Monte Carlo fleet mode: number of vehicles (0 = single-run mode)")
@@ -68,6 +84,32 @@ func main() {
 			log.Fatalf("start CPU profile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *hmpc {
+		hf := hmpcFlags{
+			cycle:     *cycle,
+			usage:     *usage,
+			seed:      *seed,
+			route:     *route,
+			repeats:   *repeats,
+			ucap:      *ucap,
+			ambient:   *ambient,
+			block:     *block,
+			maxBlocks: *maxBlocks,
+			planOnly:  *planOnly,
+			asJSON:    *asJSON,
+		}
+		// The single-run default of 5 repeats would quintuple every
+		// hierarchical route; only an explicit -repeats carries over.
+		hf.repeats = 1
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "repeats" {
+				hf.repeats = *repeats
+			}
+		})
+		runHMPC(hf)
+		return
 	}
 
 	if *fleet > 0 {

@@ -144,6 +144,11 @@ func (o *OTEM) objectiveFwd(z []float64, tape []stepTape) float64 {
 	tempPressureWeight, horizonF := cfg.TempPressureWeight, float64(cfg.Horizon)
 	w1, w2, w3 := cfg.W1, cfg.W2, cfg.W3
 	fc := o.fc
+	// Outer-layer tracking terms: latched per replan, skipped entirely for
+	// the flat controller so its cost stays bit-identical.
+	trackSoC, trackTb := o.trackSoC, o.trackTb
+	refS, refT := o.refSoC, o.refTb
+	socRefW, tbRefW := cfg.SoCRefWeight, cfg.TempRefWeight
 
 	var cost float64
 	// Blocked-input cursor: base walks z one block every bs steps (same
@@ -290,6 +295,16 @@ func (o *OTEM) objectiveFwd(z []float64, tape []stepTape) float64 {
 			cost += tempPressureWeight / horizonF * d * d
 		}
 
+		// --- Outer-reference tracking (two-layer MPC) ---
+		if trackSoC {
+			d := soc - refS[k]
+			cost += socRefW * d * d
+		}
+		if trackTb {
+			d := tb - refT[k]
+			cost += tbRefW * d * d
+		}
+
 		cost += w1*tp.pcool*dt + w2*tp.aging + w3*(dEbat+tp.dEcap)
 	}
 
@@ -341,8 +356,26 @@ func (o *OTEM) objectiveGrad(z, grad []float64) float64 {
 	}
 
 	hcSum := r.battHeatCap + r.coolHeatCap
+	trackSoC, trackTb := o.trackSoC, o.trackTb
+	refS, refT := o.refSoC, o.refTb
+	socRefW, tbRefW := cfg.SoCRefWeight, cfg.TempRefWeight
 	for k := cfg.Horizon - 1; k >= 0; k-- {
 		tp := &tape[k]
+
+		// --- Outer-reference tracking adjoints: the cost reads the
+		// end-of-step states, so they join the carried adjoints before
+		// this step's own terms. A clamped SoC has zero derivative and
+		// the clamp handling below discards the incoming asoc anyway.
+		if trackTb {
+			atb += 2 * tbRefW * (tp.tb1 - refT[k])
+		}
+		if trackSoC {
+			socEnd := tp.socPre
+			if tp.socClampHi {
+				socEnd = 1
+			}
+			asoc += 2 * socRefW * (socEnd - refS[k])
+		}
 
 		// --- Temperature penalties at tb1/tc1 ---
 		atb1, atc1 := atb, atc

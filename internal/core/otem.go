@@ -76,6 +76,15 @@ type Config struct {
 	// CoolingOnThreshold is the normalised intensity below which the pump
 	// stays off.
 	CoolingOnThreshold float64
+	// SoCRefWeight and TempRefWeight price per-step deviation from an
+	// outer-layer reference trajectory installed via SetReference — the
+	// tracking terms of the two-layer hierarchical MPC (arXiv 1809.10002).
+	// J per squared SoC fraction and J/K² respectively. Zero (the default)
+	// disables tracking entirely: the flat controller's cost, gradients and
+	// plans are bit-identical whether or not a reference is installed.
+	SoCRefWeight float64
+	// TempRefWeight is SoCRefWeight's battery-temperature counterpart.
+	TempRefWeight float64
 	// Optimizer tunes the inner solver.
 	Optimizer optimize.Options
 	// NumericGradient forces finite-difference gradients instead of the
@@ -130,6 +139,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative TempPressureWeight/TEBWeight")
 	case c.CoolingOnThreshold < 0 || c.CoolingOnThreshold >= 1:
 		return fmt.Errorf("core: CoolingOnThreshold = %g, must be in [0, 1)", c.CoolingOnThreshold)
+	case c.SoCRefWeight < 0 || c.TempRefWeight < 0:
+		return fmt.Errorf("core: negative reference-tracking weights (%g, %g)", c.SoCRefWeight, c.TempRefWeight)
 	}
 	return nil
 }
@@ -167,6 +178,19 @@ type OTEM struct {
 	// each replan does not allocate a method value or closure.
 	objFn  func([]float64) float64
 	gradFn func(z, g []float64)
+
+	// Outer-layer reference tracking (reference.go). ref is the installed
+	// trajectory (nil without an outer layer); stepAbs is the absolute
+	// plant step, indexing ref; refSoC/refTb are the per-replan horizon
+	// windows the objective reads; trackSoC/trackTb gate the tracking
+	// terms so a zero-weight or absent reference leaves the flat cost
+	// untouched bit for bit.
+	ref             *Reference
+	stepAbs         int
+	refSoC, refTb   []float64
+	trackSoC        bool
+	trackTb         bool
+	replans, nudges int
 }
 
 // New returns an OTEM controller for the given configuration.
@@ -197,6 +221,8 @@ func New(cfg Config) (*OTEM, error) {
 		fc:      make([]float64, cfg.Horizon),
 		tape:    make([]stepTape, cfg.Horizon),
 		tapeZ:   make([]float64, planner.Spec().Dim()),
+		refSoC:  make([]float64, cfg.Horizon),
+		refTb:   make([]float64, cfg.Horizon),
 	}
 	o.objFn = o.objective
 	if !cfg.NumericGradient {
@@ -212,9 +238,17 @@ func (o *OTEM) Name() string { return "OTEM" }
 // the Eq. 18/19 optimisation every ReplanInterval steps (paper Alg. 1
 // lines 10–22).
 func (o *OTEM) Decide(p *sim.Plant, forecast []float64) sim.Action {
+	if o.planValid && o.cursor < o.cfg.ReplanInterval && o.divergedFromRef(p) {
+		// The realized state drifted past the reference tolerances: the
+		// rest of the current plan tracks a trajectory it can no longer
+		// reach, so re-solve now instead of waiting out the interval.
+		o.planValid = false
+		o.nudges++
+	}
 	if !o.planValid || o.cursor >= o.cfg.ReplanInterval {
 		o.replan(p, forecast)
 	}
+	o.stepAbs++
 	capU := o.planner.Spec().InputAt(o.plan, o.cursor, 0)
 	coolU := o.planner.Spec().InputAt(o.plan, o.cursor, 1)
 	o.cursor++
@@ -252,6 +286,8 @@ func (o *OTEM) Decide(p *sim.Plant, forecast []float64) sim.Action {
 // execution cursor.
 func (o *OTEM) replan(p *sim.Plant, forecast []float64) {
 	o.roll.capture(p, o.cfg)
+	o.prepareRefWindow()
+	o.replans++
 	// The rollout state and forecast changed, so any recorded tape is stale.
 	o.tapeValid = false
 	// Pad/truncate the forecast to the horizon.
@@ -267,12 +303,16 @@ func (o *OTEM) replan(p *sim.Plant, forecast []float64) {
 	if err != nil {
 		// Objective failures cannot happen with a validated config; fall
 		// back to a do-nothing hybrid action (battery carries everything).
-		o.plan = o.plan[:0]
-		for i, n := 0, o.planner.Spec().Dim(); i < n; i++ {
-			o.plan = append(o.plan, 0)
+		o.plan = o.plan[:o.planner.Spec().Dim()]
+		for i := range o.plan {
+			o.plan[i] = 0
 		}
 	} else {
-		o.plan = append(o.plan[:0], plan...)
+		// The buffer was sized to the decision dimension at construction,
+		// so this reslice-and-copy never grows it (replan is on the warm
+		// PlanTrip path and must stay allocation-free).
+		o.plan = o.plan[:len(plan)]
+		copy(o.plan, plan)
 	}
 	o.planValid = true
 	o.cursor = 0
@@ -289,7 +329,8 @@ func (o *OTEM) objective(z []float64) float64 {
 // noteTape records that the tape now holds the rollout at z with the given
 // cost, so a following gradient request at the same z can reuse it.
 func (o *OTEM) noteTape(z []float64, cost float64) {
-	o.tapeZ = append(o.tapeZ[:0], z...)
+	o.tapeZ = o.tapeZ[:len(z)]
+	copy(o.tapeZ, z)
 	o.tapeCost = cost
 	o.tapeValid = true
 }

@@ -198,6 +198,15 @@ func synthFor(u UsageClass, routeSeconds float64, seed int64) drivecycle.SynthCo
 	return cfg
 }
 
+// SynthConfigFor exposes the per-usage-class route synthesiser to the
+// route-preview layer (internal/hmpc): a previewed synthetic route is a
+// realization of the same scenario model a fleet vehicle of this class
+// would draw, so hierarchical-MPC studies and fleet sweeps share one
+// route distribution.
+func SynthConfigFor(u UsageClass, routeSeconds float64, seed int64) drivecycle.SynthConfig {
+	return synthFor(u, routeSeconds, seed)
+}
+
 // FamilyNames lists every scenario family in canonical (sorted-by-
 // construction) order: usage classes in sampling order × climate bands in
 // sampling order.

@@ -1,0 +1,163 @@
+package hmpc
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkPlanRoute measures the cold outer solve: route synthesis,
+// preview, planner construction and the route-start plan — the latency a
+// POST /v1/plan cache miss pays.
+func BenchmarkPlanRoute(b *testing.B) {
+	spec := Spec{Cycle: "UDDS", AmbientK: 308}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanRoute(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmOuterReplan measures the steady-state outer replan on a
+// drifting plant — the per-block cost the hierarchical controller pays
+// mid-route. The warm path must not allocate.
+func BenchmarkWarmOuterReplan(b *testing.B) {
+	pl, plant := buildBenchPlanner(b, Spec{Usage: "commuter", RouteSeconds: 600, AmbientK: 305})
+	if err := pl.Replan(plant, 0); err != nil {
+		b.Fatal(err)
+	}
+	step := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step += pl.blockSteps
+		plant.HEES.Battery.SoC -= 1e-5
+		plant.Loop.BatteryTemp += 0.002
+		if err := pl.Replan(plant, step); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildBenchPlanner mirrors buildPlanner for benchmarks.
+func buildBenchPlanner(tb testing.TB, spec Spec) (*Planner, *sim.Plant) {
+	tb.Helper()
+	ctrl, plant, _, err := Build(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ctrl.planner, plant
+}
+
+// hmpcBenchReport is the BENCH_hmpc.json schema produced by `make
+// hmpc-bench`.
+type hmpcBenchReport struct {
+	Benchmark        string  `json:"benchmark"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Blocks           int     `json:"outer_blocks"`
+	Steps            int     `json:"steps"`
+	PlanNs           float64 `json:"outer_plan_ns"`
+	PlanAllocs       float64 `json:"outer_plan_allocs"`
+	WarmReplanNs     float64 `json:"warm_outer_replan_ns"`
+	WarmReplanAllocs float64 `json:"warm_outer_replan_allocs"`
+	RunNsPerStep     float64 `json:"hier_ns_per_step"`
+	RunStepsPerSec   float64 `json:"hier_steps_per_sec"`
+	AllocBudget      float64 `json:"warm_replan_alloc_budget"`
+}
+
+// TestHMPCBenchJSON is the `make hmpc-bench` harness: cold outer-plan
+// latency, warm outer-replan cost on a drifting plant, and end-to-end
+// hierarchical throughput, written to the path in HMPC_BENCH_JSON.
+// Without the environment variable a short smoke route runs (nothing
+// written) so plain `go test ./...` stays fast. In both modes it fails
+// if the warm outer replan allocates — the zero-alloc contract of the
+// //lint:hotpath gate, re-checked at benchmark scale.
+func TestHMPCBenchJSON(t *testing.T) {
+	out := os.Getenv("HMPC_BENCH_JSON")
+	spec := Spec{Cycle: "UDDS", AmbientK: 308}
+	name := "HierUDDS"
+	if out == "" {
+		spec = Spec{Usage: "commuter", RouteSeconds: 120, AmbientK: 305}
+		name = "HierCommuter/smoke"
+	}
+
+	// Cold solve: the /v1/plan cache-miss latency.
+	planRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PlanRoute(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Warm replan: per-block steady-state cost, plant drifting under it.
+	pl, plant := buildBenchPlanner(t, spec)
+	step := 0
+	replanRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			step += pl.blockSteps
+			plant.HEES.Battery.SoC -= 1e-6
+			plant.Loop.BatteryTemp += 0.0002
+			if err := pl.Replan(plant, step); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warmAllocs := float64(replanRes.MemAllocs) / float64(replanRes.N)
+	if warmAllocs > 0 {
+		t.Errorf("warm outer replan allocates %.2f times per call, want 0", warmAllocs)
+	}
+
+	// End-to-end: the full two-layer simulation.
+	var steps, blocks int
+	runRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := Run(context.Background(), spec, sim.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps, blocks = r.Steps, r.Plan.Blocks
+		}
+	})
+	if steps == 0 || runRes.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+
+	nsPerStep := float64(runRes.NsPerOp()) / float64(steps)
+	report := hmpcBenchReport{
+		Benchmark:        name,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Blocks:           blocks,
+		Steps:            steps,
+		PlanNs:           float64(planRes.NsPerOp()),
+		PlanAllocs:       float64(planRes.MemAllocs) / float64(planRes.N),
+		WarmReplanNs:     float64(replanRes.NsPerOp()),
+		WarmReplanAllocs: warmAllocs,
+		RunNsPerStep:     nsPerStep,
+		RunStepsPerSec:   1e9 / nsPerStep,
+		AllocBudget:      0,
+	}
+	t.Logf("%s: plan %.2f ms, warm replan %.2f ms (%.2f allocs), run %.0f steps/sec",
+		name, report.PlanNs/1e6, report.WarmReplanNs/1e6, warmAllocs, report.RunStepsPerSec)
+
+	if out == "" {
+		return
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,80 @@
+package hmpc
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Controller is the hierarchical controller: the fast inner OTEM tracking
+// the outer Planner's schedule, with an outer re-plan trigger when the
+// realized state drifts past the coarse tolerances. It implements
+// sim.Controller; construct via Build.
+type Controller struct {
+	planner *Planner
+	inner   *core.OTEM
+	step    int
+	initial *Plan // the route-start outer plan (the cacheable artifact)
+}
+
+// Name implements sim.Controller.
+func (h *Controller) Name() string { return "HMPC" }
+
+// refSample reads a reference entry, holding the last value past the end.
+func refSample(s []float64, i int) float64 {
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// outerDiverged reports whether the realized state has left the outer
+// tolerance tube around the schedule. It rate-limits to one check per
+// coarse block: divergence below the outer grid's resolution is the inner
+// trigger's job.
+func (h *Controller) outerDiverged(p *sim.Plant) bool {
+	spec := &h.planner.spec
+	if h.step-h.planner.lastStep < h.planner.blockSteps {
+		return false
+	}
+	i := h.step - 1
+	ref := &h.planner.ref
+	if spec.OuterSoCTol > 0 && len(ref.SoC) > 0 &&
+		math.Abs(p.HEES.Battery.SoC-refSample(ref.SoC, i)) > spec.OuterSoCTol {
+		return true
+	}
+	if spec.OuterTempTolK > 0 && len(ref.TempK) > 0 &&
+		math.Abs(p.Loop.BatteryTemp-refSample(ref.TempK, i)) > spec.OuterTempTolK {
+		return true
+	}
+	return false
+}
+
+// Decide implements sim.Controller: re-plan the outer schedule when the
+// trip has drifted past the coarse tolerances, then let the inner OTEM
+// track it. An outer solve failure keeps the previous references — the
+// inner layer remains a complete controller without them.
+func (h *Controller) Decide(p *sim.Plant, forecast []float64) sim.Action {
+	if h.step > 0 && h.outerDiverged(p) {
+		_ = h.planner.Replan(p, h.step)
+	}
+	act := h.inner.Decide(p, forecast)
+	h.step++
+	return act
+}
+
+// Plan returns the route-start outer plan.
+func (h *Controller) Plan() *Plan { return h.initial }
+
+// OuterReplans reports outer solves (≥ 1: the route-start plan).
+func (h *Controller) OuterReplans() int { return h.planner.Replans() }
+
+// InnerReplans reports the inner controller's horizon solves.
+func (h *Controller) InnerReplans() int { return h.inner.Replans() }
+
+// DivergenceReplans reports inner replans forced early by the reference
+// divergence trigger.
+func (h *Controller) DivergenceReplans() int { return h.inner.DivergenceReplans() }
+
+var _ sim.Controller = (*Controller)(nil)

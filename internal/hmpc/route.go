@@ -1,0 +1,139 @@
+package hmpc
+
+import (
+	"math"
+
+	"repro/internal/core/floats"
+	"repro/internal/drivecycle"
+	"repro/internal/fleet"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+)
+
+// comfortK is the cabin comfort point at which the HVAC draws nothing —
+// the same constant internal/vehicle uses for its power series.
+const comfortK = 295.0
+
+// Segment is one stretch of a previewed route: what a connected-vehicle
+// traffic service knows about the road ahead, at segment (not per-second)
+// resolution.
+type Segment struct {
+	// Seconds is the segment duration at the previewed traffic speed.
+	Seconds float64
+	// MeanSpeed is the expected traffic speed over the segment, m/s.
+	MeanSpeed float64
+	// GradePct is the mean road grade, rise over run × 100.
+	GradePct float64
+	// MeanPowerW optionally carries the expected mean bus power demand
+	// over the segment (traction + HVAC), watts. Zero derives it from
+	// MeanSpeed/GradePct through the vehicle model instead.
+	MeanPowerW float64
+}
+
+// Route is a segment-level route preview. It deliberately carries less
+// information than a realized drive cycle: the outer planner sees block
+// means, never the per-second burst structure the inner layer reacts to.
+type Route struct {
+	// Name identifies the route in plans and logs.
+	Name string
+	// AmbientK is the previewed outside-air temperature, kelvin.
+	AmbientK float64
+	// Segments is the route in driving order.
+	Segments []Segment
+}
+
+// Duration returns the previewed route length in seconds.
+func (r Route) Duration() float64 {
+	var total float64
+	for _, s := range r.Segments {
+		total += s.Seconds
+	}
+	return total
+}
+
+// RouteFromCycle condenses a drive cycle into a segment-level preview:
+// mean traffic speed and expected mean power per segSeconds stretch. This
+// is the information loss a real preview has — the outer layer knows each
+// segment's expected demand, not when inside it the bursts land.
+func RouteFromCycle(c *drivecycle.Cycle, p vehicle.Params, segSeconds, ambientK float64) Route {
+	power := p.PowerSeriesAt(c, ambientK)
+	segSamples := int(math.Round(segSeconds / c.DT))
+	if segSamples < 1 {
+		segSamples = 1
+	}
+	var segs []Segment
+	for lo := 0; lo < len(power); lo += segSamples {
+		hi := lo + segSamples
+		if hi > len(power) {
+			hi = len(power)
+		}
+		var sumV, sumP float64
+		for i := lo; i < hi; i++ {
+			sumV += c.Speed[i]
+			sumP += power[i]
+		}
+		n := float64(hi - lo)
+		segs = append(segs, Segment{
+			Seconds:    n * c.DT,
+			MeanSpeed:  sumV / n,
+			MeanPowerW: sumP / n,
+		})
+	}
+	return Route{Name: c.Name, AmbientK: ambientK, Segments: segs}
+}
+
+// SynthCycle synthesizes a route realization from the fleet scenario
+// model, so hierarchical-MPC studies and fleet sweeps draw from one route
+// distribution.
+func SynthCycle(usage fleet.UsageClass, seconds float64, seed int64) (*drivecycle.Cycle, error) {
+	return drivecycle.Synthesize(fleet.SynthConfigFor(usage, seconds, seed))
+}
+
+// segmentPower returns a segment's expected bus power demand: the carried
+// MeanPowerW when the preview supplies one, otherwise the vehicle model
+// at the segment's mean speed and grade plus the HVAC load.
+func (r Route) segmentPower(p vehicle.Params, s Segment) float64 {
+	if !floats.Zero(s.MeanPowerW) {
+		return s.MeanPowerW
+	}
+	v := s.MeanSpeed
+	bus := p.BusPower(v, 0)
+	if !floats.Zero(s.GradePct) {
+		grade := s.GradePct / 100
+		gp := p.Mass * units.Gravity * grade / math.Sqrt(1+grade*grade) * v
+		if gp > 0 {
+			gp /= p.DrivetrainEff
+		} else {
+			gp *= p.RegenEff
+		}
+		bus += gp
+	}
+	return bus + p.HVACPerKelvin*math.Abs(r.AmbientK-comfortK)
+}
+
+// Preview expands the route into the per-step expected power series the
+// outer planner block-averages: each segment's expected power held
+// constant over its duration, sampled every dt seconds. dst is reused
+// when it has the capacity.
+func (r Route) Preview(p vehicle.Params, dt float64, dst []float64) []float64 {
+	steps := int(math.Ceil(r.Duration() / dt))
+	if cap(dst) < steps {
+		dst = make([]float64, steps)
+	}
+	dst = dst[:steps]
+	i := 0
+	carried := 0.0 // accumulated segment time not yet emitted as steps
+	for _, s := range r.Segments {
+		pw := r.segmentPower(p, s)
+		carried += s.Seconds
+		for carried >= dt-1e-9 && i < steps {
+			dst[i] = pw
+			i++
+			carried -= dt
+		}
+	}
+	for ; i < steps; i++ {
+		dst[i] = 0
+	}
+	return dst
+}

@@ -49,8 +49,8 @@ var DetFlow = &Analyzer{
 	Name: "detflow",
 	Doc: `forbid transitive nondeterminism in the deterministic packages
 
-A function in internal/sim, internal/mpc, internal/policy or internal/fleet
-must not reach — at any depth, across packages, or laundered through
+A function in internal/sim, internal/mpc, internal/policy, internal/fleet
+or internal/hmpc must not reach — at any depth, across packages, or laundered through
 struct fields, closures and function values — the global math/rand source
 or time.Now. detrand catches the direct uses; detflow propagates
 "reaches nondeterminism" facts along the package DAG and tracks tainted

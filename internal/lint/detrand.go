@@ -9,9 +9,11 @@ import (
 // detrandScopes are the package-path suffixes where determinism is a
 // tested invariant: the 1-vs-8-worker sweep-determinism test requires the
 // physics (sim), the controller (mpc) and the policy layer to be pure
-// functions of their seeds and inputs, and the fleet simulator promises
-// bit-identical sketches at any worker count.
-var detrandScopes = []string{"internal/sim", "internal/mpc", "internal/policy", "internal/fleet"}
+// functions of their seeds and inputs, the fleet simulator promises
+// bit-identical sketches at any worker count, and the hierarchical
+// planner's outer plans are cache keys (POST /v1/plan) — the same spec
+// must solve to the same plan forever.
+var detrandScopes = []string{"internal/sim", "internal/mpc", "internal/policy", "internal/fleet", "internal/hmpc"}
 
 // globalRandFuncs are the math/rand package-level functions backed by the
 // shared global source. rand.New / rand.NewSource construct seeded,
@@ -37,12 +39,15 @@ var globalRandFuncs = map[string]bool{
 // must arrive as a seeded *rand.Rand and time as plant/step state.
 // internal/fleet joins the scope: its parallel-identity test promises
 // bit-identical sketches at any worker count, so every draw must come
-// from the per-vehicle seeded generator.
+// from the per-vehicle seeded generator. internal/hmpc joins too: its
+// outer plans are golden-pinned and served from a canonical-spec-keyed
+// cache, which is only sound if planning is a pure function of the spec.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc: `forbid global math/rand and time.Now in deterministic packages
 
-internal/sim, internal/mpc, internal/policy and internal/fleet must be replayable:
+internal/sim, internal/mpc, internal/policy, internal/fleet and
+internal/hmpc must be replayable:
 identical seeds and inputs give identical traces whether the batch runs
 on 1 worker or 8. The global math/rand source is shared mutable state
 across goroutines, and time.Now leaks the wall clock into physics. Use a

@@ -1,0 +1,46 @@
+// Package hmpc stands in for the hierarchical planner: its import path
+// ends in internal/hmpc, so calls that transitively reach nondeterminism
+// must be reported here — the plan cache keys on the canonical spec, and
+// a plan influenced by the wall clock or the global source would poison
+// every consumer of that key.
+package hmpc
+
+import (
+	"math/rand"
+
+	"repro/internal/lint/testdata/src/detflow/helpers"
+)
+
+// PreviewNoise reaches the global math/rand source through the helper
+// package: a laundered draw is as cache-poisoning as a direct one.
+func PreviewNoise() float64 {
+	return helpers.Draw() // want `call to nondeterministic Draw`
+}
+
+// SolveDeadline reaches time.Now two hops away: wall-clock-dependent
+// planning would make the same spec solve to different plans.
+func SolveDeadline() bool {
+	return helpers.Wrap() > 0 // want `call to nondeterministic Wrap`
+}
+
+// planner mirrors internal/hmpc's seeded route synthesis: the generator
+// lives in a struct field seeded from the spec, so the value flow proves
+// every draw deterministic and nothing below is reported.
+type planner struct {
+	rng *rand.Rand
+}
+
+func newPlanner(specSeed int64) *planner {
+	return &planner{rng: rand.New(rand.NewSource(specSeed))}
+}
+
+// SegmentSpeed draws from the spec-seeded generator through the struct
+// field: clean, the stored value's provenance is the spec seed.
+func (p *planner) SegmentSpeed() float64 {
+	return p.rng.Float64()
+}
+
+// Blend is deterministic end to end: seeded helper plus a pure function.
+func Blend(seed int64) float64 {
+	return helpers.Seeded(seed) + helpers.Pure(3)
+}

@@ -164,6 +164,121 @@ func (r FleetRequest) normalize(maxVehicles, maxDays int) (otem.FleetSpec, error
 	return spec, nil
 }
 
+// PlanRequest is the wire form of POST /v1/plan: the outer scheduling
+// layer of the two-layer hierarchical MPC, solved for one route. Exactly
+// one route source applies: a registered cycle name, or a synthesized
+// route from usage/seed/route_seconds. Zero values select the PlanSpec
+// defaults; the weight and tolerance fields treat a negative value as the
+// explicit off switch.
+type PlanRequest struct {
+	// Cycle is a standard drive-cycle name ("US06", "UDDS", …).
+	Cycle string `json:"cycle,omitempty"`
+	// Usage is the fleet usage class shaping a synthesized route
+	// ("commuter", "delivery", "highway").
+	Usage string `json:"usage,omitempty"`
+	// Seed drives the route synthesiser.
+	Seed int64 `json:"seed,omitempty"`
+	// RouteSeconds is the synthesized route duration.
+	RouteSeconds float64 `json:"route_seconds,omitempty"`
+	// Repeats plays the route back to back.
+	Repeats int `json:"repeats,omitempty"`
+	// UltracapFarad is the ultracapacitor bank size.
+	UltracapFarad float64 `json:"ultracap_farad,omitempty"`
+	// AmbientKelvin is the outside-air temperature.
+	AmbientKelvin float64 `json:"ambient_kelvin,omitempty"`
+	// Horizon is the inner controller's forecast window, steps.
+	Horizon int `json:"horizon,omitempty"`
+	// BlockSeconds is the outer coarse-grid block length; MaxBlocks caps
+	// the outer horizon.
+	BlockSeconds float64 `json:"block_seconds,omitempty"`
+	MaxBlocks    int     `json:"max_blocks,omitempty"`
+	// SoCRefWeight / TempRefWeight are the inner tracking weights; the
+	// *Tol fields are the inner and outer divergence tolerances.
+	SoCRefWeight       float64 `json:"soc_ref_weight,omitempty"`
+	TempRefWeight      float64 `json:"temp_ref_weight,omitempty"`
+	SoCTol             float64 `json:"soc_tol,omitempty"`
+	TempTolKelvin      float64 `json:"temp_tol_kelvin,omitempty"`
+	OuterSoCTol        float64 `json:"outer_soc_tol,omitempty"`
+	OuterTempTolKelvin float64 `json:"outer_temp_tol_kelvin,omitempty"`
+}
+
+// normalize validates the request shape against the server's limits and
+// returns the PlanSpec to solve. Range validation beyond the server
+// limits happens inside the solve, whose errors carry otem.ErrBadPlanSpec
+// (mapped to 400).
+func (r PlanRequest) normalize(maxRepeats int) (otem.PlanSpec, error) {
+	if r.Repeats < 0 {
+		return otem.PlanSpec{}, fmt.Errorf("%w: repeats %d is negative", errBadRequest, r.Repeats)
+	}
+	if r.Repeats > maxRepeats {
+		return otem.PlanSpec{}, fmt.Errorf("%w: repeats %d exceeds the limit %d", errBadRequest, r.Repeats, maxRepeats)
+	}
+	return otem.PlanSpec{
+		Cycle:         r.Cycle,
+		Usage:         r.Usage,
+		Seed:          r.Seed,
+		RouteSeconds:  r.RouteSeconds,
+		Repeats:       r.Repeats,
+		UltracapF:     r.UltracapFarad,
+		AmbientK:      r.AmbientKelvin,
+		Horizon:       r.Horizon,
+		BlockSeconds:  r.BlockSeconds,
+		MaxBlocks:     r.MaxBlocks,
+		SoCRefWeight:  r.SoCRefWeight,
+		TempRefWeight: r.TempRefWeight,
+		SoCTol:        r.SoCTol,
+		TempTolK:      r.TempTolKelvin,
+		OuterSoCTol:   r.OuterSoCTol,
+		OuterTempTolK: r.OuterTempTolKelvin,
+	}, nil
+}
+
+// fleetFromQuery builds a FleetRequest from the fleet-stream endpoint's
+// query parameters: vehicles, days, seed, method, ultracap_farad,
+// route_seconds, horizon.
+func fleetFromQuery(q url.Values) (FleetRequest, error) {
+	req := FleetRequest{Method: q.Get("method")}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{
+		{"vehicles", &req.Vehicles},
+		{"days", &req.Days},
+		{"horizon", &req.Horizon},
+	} {
+		if s := q.Get(f.name); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return FleetRequest{}, fmt.Errorf("%w: %s %q is not an integer", errBadRequest, f.name, s)
+			}
+			*f.dst = n
+		}
+	}
+	if s := q.Get("seed"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return FleetRequest{}, fmt.Errorf("%w: seed %q is not an integer", errBadRequest, s)
+		}
+		req.Seed = n
+	}
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"ultracap_farad", &req.UltracapFarad},
+		{"route_seconds", &req.RouteSeconds},
+	} {
+		if s := q.Get(f.name); s != "" {
+			u, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return FleetRequest{}, fmt.Errorf("%w: %s %q is not a number", errBadRequest, f.name, s)
+			}
+			*f.dst = u
+		}
+	}
+	return req, nil
+}
+
 // fromQuery builds a SimulateRequest from stream-endpoint query
 // parameters: method, cycle, repeats, ultracap_farad.
 func fromQuery(q url.Values) (SimulateRequest, error) {

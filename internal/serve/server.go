@@ -121,8 +121,11 @@ type Server struct {
 	// fleetCache is the /v1/fleet instantiation of the same LRU +
 	// singleflight machinery, sharing the CacheSize bound.
 	fleetCache *cache[*otem.FleetResult]
-	gate       *admission
-	mux        *http.ServeMux
+	// planCache caches /v1/plan outer solves: a plan is a pure function of
+	// its canonical spec, so route-start plans are computed once per route.
+	planCache *cache[*otem.Plan]
+	gate      *admission
+	mux       *http.ServeMux
 	// pool executes one admitted request's simulation with the runner's
 	// panic isolation; global concurrency is bounded by gate, not here.
 	pool *runner.Pool
@@ -134,6 +137,8 @@ type Server struct {
 	runBatch func(ctx context.Context, specs []otem.RunSpec, opts ...otem.BatchOption) ([]otem.BatchResult, error)
 	// runFleet executes one admitted fleet spec; tests substitute stubs.
 	runFleet func(ctx context.Context, spec otem.FleetSpec, opts ...otem.Option) (*otem.FleetResult, error)
+	// runPlan solves one outer route plan; tests substitute stubs.
+	runPlan func(ctx context.Context, spec otem.PlanSpec) (*otem.Plan, error)
 }
 
 // New builds a Server from the configuration.
@@ -144,17 +149,23 @@ func New(cfg Config) *Server {
 		metrics:    newMetrics(),
 		cache:      newResultCache(cfg.CacheSize),
 		fleetCache: newCache[*otem.FleetResult](cfg.CacheSize),
+		planCache:  newCache[*otem.Plan](cfg.CacheSize),
 		gate:       newAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		pool:       runner.New(runner.Workers(1)),
 		runSim:     otem.RunContext,
 		runBatch:   otem.RunBatch,
 		runFleet:   otem.RunFleet,
+		runPlan: func(_ context.Context, spec otem.PlanSpec) (*otem.Plan, error) {
+			return otem.PlanRoute(spec)
+		},
 	}
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.Handle("POST /v1/fleet", s.instrument("fleet", s.handleFleet))
+	mux.Handle("POST /v1/plan", s.instrument("plan", s.handlePlan))
 	mux.Handle("GET /v1/simulate/stream", s.instrument("stream", s.handleStream))
+	mux.Handle("GET /v1/fleet/stream", s.instrument("fleetstream", s.handleFleetStream))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -192,7 +203,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, otem.ErrUnknownCycle),
-		errors.Is(err, otem.ErrUnknownBaseline):
+		errors.Is(err, otem.ErrUnknownBaseline),
+		errors.Is(err, otem.ErrBadPlanSpec):
 		return http.StatusBadRequest
 	case errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests
@@ -459,6 +471,155 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	flush()
+}
+
+// handlePlan implements POST /v1/plan: the outer scheduling layer of the
+// two-layer hierarchical MPC, solved for one route. A plan is a pure
+// function of its canonical spec, so the endpoint caches and coalesces on
+// it exactly like the simulate endpoints — a navigation frontend can
+// request the same route's schedule repeatedly and only the first request
+// pays for the solve.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := req.normalize(s.cfg.MaxRepeats)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, outcome, err := s.planCache.do(ctx, cacheKey(spec), func() (*otem.Plan, error) {
+		if err := s.gate.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.gate.release()
+		out, err := runner.Map(ctx, s.pool, 1, func(ctx context.Context, _ int) (*otem.Plan, error) {
+			return s.runPlan(ctx, spec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	})
+	switch outcome {
+	case cacheHit:
+		s.metrics.cacheHits.Add(1)
+	case cacheMiss:
+		s.metrics.cacheMisses.Add(1)
+	case cacheCoalesced:
+		s.metrics.cacheCoalesced.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", string(outcome))
+	writeJSON(w, http.StatusOK, otem.EncodePlan(res))
+}
+
+// fleetProgressEvent is one NDJSON progress line of GET /v1/fleet/stream.
+type fleetProgressEvent struct {
+	Event         string `json:"event"` // always "progress"
+	VehiclesDone  int    `json:"vehicles_done"`
+	VehiclesTotal int    `json:"vehicles_total"`
+}
+
+// fleetErrorEvent is the NDJSON error line emitted when a streamed fleet
+// run fails after the 200 header has been sent.
+type fleetErrorEvent struct {
+	Event string `json:"event"` // always "error"
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// handleFleetStream implements GET /v1/fleet/stream: one fleet run as
+// NDJSON — a progress line per completed chunk, then the FleetResultJSON
+// summary as the final line (distinguished by its "schema" field). The
+// run shares /v1/fleet's cache: a cached or coalesced request emits the
+// final line only, and the X-Cache header tells which (the header is sent
+// with the first progress line, which only the computing leader writes).
+func (s *Server) handleFleetStream(w http.ResponseWriter, r *http.Request) {
+	req, err := fleetFromQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := req.normalize(s.cfg.MaxFleetVehicles, s.cfg.MaxFleetDays)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	// Progress must stream while the run executes, so the header goes out
+	// with the first write. Only the cache-miss leader writes progress
+	// lines, so X-Cache can optimistically say "miss": on a hit or a
+	// coalesced wait nothing is written until after the outcome is known,
+	// and the header is corrected below before the final line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache", string(cacheMiss))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wroteProgress := false
+	progress := func(done, total int) {
+		// fleet.Run serializes progress callbacks, and the leader's run
+		// completes before do returns, so wroteProgress is safely read
+		// after the fact.
+		wroteProgress = true
+		if enc.Encode(fleetProgressEvent{Event: "progress", VehiclesDone: done, VehiclesTotal: total}) == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	res, outcome, err := s.fleetCache.do(ctx, cacheKey(spec), func() (*otem.FleetResult, error) {
+		if err := s.gate.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.gate.release()
+		out, err := runner.Map(ctx, s.pool, 1, func(ctx context.Context, _ int) (*otem.FleetResult, error) {
+			return s.runFleet(ctx, spec, otem.WithParallelism(s.cfg.FleetParallelism), otem.WithProgress(progress))
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	})
+	switch outcome {
+	case cacheHit:
+		s.metrics.cacheHits.Add(1)
+	case cacheMiss:
+		s.metrics.cacheMisses.Add(1)
+	case cacheCoalesced:
+		s.metrics.cacheCoalesced.Add(1)
+	}
+	if err != nil {
+		if !wroteProgress {
+			s.writeError(w, err)
+			return
+		}
+		// The 200 header is already on the wire; the error becomes the
+		// stream's final event instead. Same panic hygiene as writeError:
+		// never leak a panic value to the client.
+		msg := err.Error()
+		var pe *runner.PanicError
+		if errors.As(err, &pe) {
+			msg = "internal error: simulation panicked"
+		}
+		_ = enc.Encode(fleetErrorEvent{Event: "error", Error: msg, Code: statusFor(err)})
+		return
+	}
+	if !wroteProgress {
+		w.Header().Set("X-Cache", string(outcome))
+	}
+	_ = enc.Encode(otem.EncodeFleet(res))
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // handleHealthz implements GET /healthz.

@@ -14,7 +14,9 @@
 //     experiment with Run / RunContext, or fan a whole grid of experiments
 //     out on the bounded worker pool with RunBatch,
 //   - roll a Monte Carlo fleet of seeded stochastic vehicle scenarios into
-//     streaming quantile sketches with RunFleet.
+//     streaming quantile sketches with RunFleet,
+//   - run the two-layer hierarchical MPC with SimulateHierarchical, or
+//     solve just its cacheable outer route plan with PlanRoute.
 //
 // A minimal session:
 //
@@ -60,6 +62,29 @@
 //
 // The same spec and seed produce a bit-identical result (same Digest, same
 // otem.fleet/v1 JSON from EncodeFleet) at any parallelism.
+//
+// # Two-layer hierarchical MPC
+//
+// SimulateHierarchical runs a route-preview scheduling layer over the
+// fast OTEM tracker, after the hierarchical EMS literature
+// (arXiv:1809.10002). The outer planner sees only a segment-level
+// preview of the route — block-averaged power derived from speeds,
+// grades and ambient — and schedules SoC/pack-temperature reference
+// trajectories; the inner controller tracks them and forces an early
+// outer replan when the realized state diverges past the spec's
+// tolerances:
+//
+//	res, err := otem.SimulateHierarchical(ctx,
+//		otem.PlanSpec{Cycle: "UDDS", AmbientK: 308})
+//	fmt.Println(res.Plan.Blocks, res.OuterReplans, res.DivergenceReplans)
+//
+// PlanRoute solves only the outer layer; EncodePlan renders the
+// golden-pinned otem.plan/v1 schema the serve subsystem caches under the
+// spec's canonical encoding. A PlanSpec with MaxBlocks 1 and negative
+// tracking weights and tolerances (negative = explicitly off; zero means
+// "use the default") collapses the stack to the flat controller bit for
+// bit — the identity is property-tested on every registered cycle.
+// Validation failures wrap ErrBadPlanSpec.
 //
 // # Options
 //

@@ -1,0 +1,54 @@
+package otem
+
+// This file defines the stable wire schema for outer plans, following the
+// otem.result/v1 discipline in json.go: cmd/otem-sim -hmpc -json and the
+// otem-serve POST /v1/plan endpoint both emit PlanJSON, so the schema
+// cannot drift between surfaces. The field set, the json tags and the
+// Schema version string are covered by a golden-file test; changing any of
+// them is a wire-format break and must bump PlanSchemaVersion.
+
+// PlanSchemaVersion identifies the wire format emitted by EncodePlan.
+const PlanSchemaVersion = "otem.plan/v1"
+
+// PlanJSON is the stable JSON encoding of a Plan: the outer scheduling
+// layer's block-boundary reference trajectories and coarse decisions for
+// one route. Unit-bearing fields carry the unit in the name; fractions
+// (SoC/SoE) are 0..1.
+type PlanJSON struct {
+	// Schema is always PlanSchemaVersion.
+	Schema string `json:"schema"`
+	// Spec is the canonical encoding of the (defaulted) PlanSpec that
+	// produced the plan — the same string the serve plan cache keys on.
+	Spec string `json:"spec"`
+	// BlockSeconds is the coarse-grid block length; Blocks the outer
+	// horizon; Steps the number of inner steps the plan covers.
+	BlockSeconds float64 `json:"block_seconds"`
+	Blocks       int     `json:"blocks"`
+	Steps        int     `json:"steps"`
+	// SoC, SoE and TempKelvin are the block-boundary state trajectories,
+	// length Blocks+1: the initial state followed by each block-end state.
+	SoC        []float64 `json:"soc"`
+	SoE        []float64 `json:"soe"`
+	TempKelvin []float64 `json:"temp_kelvin"`
+	// CapU and CoolU are the coarse decisions per block, length Blocks:
+	// normalised ultracapacitor bus power in [-1, 1] and cooling intensity
+	// in [0, 1].
+	CapU  []float64 `json:"cap_u"`
+	CoolU []float64 `json:"cool_u"`
+}
+
+// EncodePlan converts a Plan into the stable wire schema.
+func EncodePlan(p *Plan) PlanJSON {
+	return PlanJSON{
+		Schema:       PlanSchemaVersion,
+		Spec:         p.Spec,
+		BlockSeconds: p.BlockSeconds,
+		Blocks:       p.Blocks,
+		Steps:        p.Steps,
+		SoC:          p.SoC,
+		SoE:          p.SoE,
+		TempKelvin:   p.TempK,
+		CapU:         p.CapU,
+		CoolU:        p.CoolU,
+	}
+}

@@ -76,8 +76,32 @@ if [ "$digest1" != "$digest2" ]; then
 fi
 echo "serve-smoke: fleet cache hit ok"
 
+# Plan round trip: the two-layer outer plan must come back with the
+# otem.plan/v1 schema, and the identical request must be a cache hit.
+plan_body='{"cycle":"NYCC","ambient_kelvin":308}'
+plan_json=$(curl -fsS -X POST -d "$plan_body" "$base/v1/plan")
+echo "$plan_json" | grep -q '"schema": "otem.plan/v1"'
+echo "serve-smoke: plan ok"
+
+plan_hdrs="$tmpdir/plan_hdrs"
+curl -fsS -D "$plan_hdrs" -X POST -d "$plan_body" "$base/v1/plan" > /dev/null
+xcache=$(tr -d '\r' < "$plan_hdrs" | sed -n 's/^X-Cache: //p')
+if [ "$xcache" != "hit" ]; then
+    echo "serve-smoke: expected plan X-Cache: hit, got '$xcache'" >&2
+    exit 1
+fi
+echo "serve-smoke: plan cache hit ok"
+
+# Fleet stream: progress lines then the otem.fleet/v1 summary line.
+fleet_stream=$(curl -fsS "$base/v1/fleet/stream?vehicles=4&seed=43&method=Parallel&route_seconds=60")
+echo "$fleet_stream" | head -n 1 | grep -q '"event":"progress"'
+echo "$fleet_stream" | tail -n 1 | grep -q '"schema":"otem.fleet/v1"'
+echo "serve-smoke: fleet stream ok"
+
 curl -fsS "$base/metrics" | grep -q '^otem_serve_requests_total{code="200",endpoint="simulate"} 2$'
 curl -fsS "$base/metrics" | grep -q '^otem_serve_requests_total{code="200",endpoint="fleet"} 2$'
+curl -fsS "$base/metrics" | grep -q '^otem_serve_requests_total{code="200",endpoint="plan"} 2$'
+curl -fsS "$base/metrics" | grep -q '^otem_serve_requests_total{code="200",endpoint="fleetstream"} 1$'
 echo "serve-smoke: metrics ok"
 
 kill -TERM "$pid"
