@@ -96,12 +96,50 @@ func (b *Pack) MaxDischargePower() float64 {
 // (constraint C6 at pack level).
 func (b *Pack) MaxCurrent() float64 { return b.Cell.MaxCurrent * float64(b.Parallel) }
 
+// StepPrep carries the state-dependent quantities one integration step
+// needs: the cell and pack open-circuit voltage and internal resistance at
+// the present (SoC, Temp). Evaluating them once per step and sharing the
+// result between the bus solve, the current integration and the heat model
+// removes the two to three redundant exponential evaluations the unhoisted
+// accessors cost.
+//
+// Bit-identity contract: every field is produced by exactly the expression
+// the corresponding accessor (OCV, Resistance) uses, so substituting a prep
+// field for a direct call yields identical bits — the property the fleet
+// digest and the simulation goldens pin.
+type StepPrep struct {
+	// CellVoc and CellR are the per-cell open-circuit voltage (volts) and
+	// internal resistance (ohms) at the pack state.
+	CellVoc, CellR float64
+	// VOC and R are the pack-level values Pack.OCV and Pack.Resistance
+	// would return.
+	VOC, R float64
+}
+
+// PrepareStep evaluates the state-dependent cell quantities once. The prep
+// is valid until the pack state (SoC, Temp, CapacityLossPct) next changes.
+func (b *Pack) PrepareStep() StepPrep {
+	cellVoc := b.Cell.OCV(b.SoC)
+	cellR := b.Cell.Resistance(b.SoC, b.Temp)
+	return StepPrep{
+		CellVoc: cellVoc,
+		CellR:   cellR,
+		VOC:     cellVoc * float64(b.Series),
+		R:       cellR * float64(b.Series) / float64(b.Parallel),
+	}
+}
+
 // CurrentForPower solves the terminal power balance P = (Voc − R·I)·I for
 // the pack current I (discharge positive). For charging, pass power < 0.
 // It returns ErrPowerInfeasible when |power| exceeds the pack capability.
 func (b *Pack) CurrentForPower(power float64) (float64, error) {
-	voc := b.OCV()
-	r := b.Resistance()
+	return currentForPowerPrepared(b.PrepareStep(), power)
+}
+
+// currentForPowerPrepared is CurrentForPower on hoisted state quantities.
+func currentForPowerPrepared(pre StepPrep, power float64) (float64, error) {
+	voc := pre.VOC
+	r := pre.R
 	// (Voc − R·I)·I = P  →  R·I² − Voc·I + P = 0
 	// Discharge root: I = (Voc − sqrt(Voc² − 4·R·P)) / (2R); the same
 	// expression yields the (negative) charging current for P < 0.
@@ -144,11 +182,12 @@ func (b *Pack) Step(power, dt float64) (StepResult, error) {
 	if dt <= 0 {
 		return StepResult{}, fmt.Errorf("battery: non-positive dt %g", dt)
 	}
-	i, err := b.CurrentForPower(power)
+	pre := b.PrepareStep()
+	i, err := currentForPowerPrepared(pre, power)
 	if err != nil {
 		return StepResult{}, err
 	}
-	return b.stepWithCurrent(i, dt), nil
+	return b.StepCurrentPrepared(pre, i, dt), nil
 }
 
 // StepCurrent advances the pack with a prescribed pack current (amperes,
@@ -162,12 +201,23 @@ func (b *Pack) StepCurrent(i, dt float64) (StepResult, error) {
 }
 
 func (b *Pack) stepWithCurrent(i, dt float64) StepResult {
-	voc := b.OCV()
-	r := b.Resistance()
+	return b.StepCurrentPrepared(b.PrepareStep(), i, dt)
+}
+
+// StepCurrentPrepared is StepCurrent on hoisted state quantities: pre must
+// come from PrepareStep on the pack's present state (the parallel-bus
+// solver evaluates it once and shares it between the split solve and this
+// integration). dt must be positive — the caller's architecture step has
+// already validated it.
+func (b *Pack) StepCurrentPrepared(pre StepPrep, i, dt float64) StepResult {
+	voc := pre.VOC
+	r := pre.R
 	vterm := voc - i*r
 
 	cellI := i / float64(b.Parallel)
-	heat := b.Cell.HeatRate(cellI, b.SoC, b.Temp) * float64(b.CellCount())
+	// Eq. 4 with the hoisted cell resistance — the expression tree of
+	// CellParams.HeatRate with pre.CellR substituted for the recomputation.
+	heat := (cellI*cellI*pre.CellR + cellI*b.Temp*b.Cell.DVocDT) * float64(b.CellCount())
 	joule := i * i * r
 	aging := b.Cell.AgingRate(cellI, b.Temp) * dt
 

@@ -234,6 +234,11 @@ func New(cfg Config) (*OTEM, error) {
 // Name implements sim.Controller.
 func (o *OTEM) Name() string { return "OTEM" }
 
+// ForecastDepth implements sim.ForecastReader: the MPC consumes the whole
+// window (replan pads it to the horizon), so the batched rollout must fill
+// every entry.
+func (o *OTEM) ForecastDepth() int { return -1 }
+
 // Decide implements sim.Controller: execute the current plan, re-solving
 // the Eq. 18/19 optimisation every ReplanInterval steps (paper Alg. 1
 // lines 10–22).

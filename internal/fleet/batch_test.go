@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/runner"
+)
+
+// TestBatchedIdentityAcrossWidthsAndWorkers is the tentpole's hard
+// constraint: the fleet digest and every quantile sketch must be
+// bit-identical to the per-vehicle reference path at every batch width and
+// worker count. Width spans the degenerate single-lane batch, a width that
+// misaligns with the chunk size, the default, and whole-fleet lanes.
+func TestBatchedIdentityAcrossWidthsAndWorkers(t *testing.T) {
+	spec := testSpec()
+	ref, err := RunWith(context.Background(), spec, Options{Batch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDigest := ref.Digest()
+	for _, width := range []int{1, 7, DefaultBatch, testSpec().Vehicles} {
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			got, err := RunWith(context.Background(), spec, Options{
+				Pool:  runner.New(runner.Workers(workers)),
+				Batch: width,
+			})
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", width, workers, err)
+			}
+			if d := got.Digest(); d != refDigest {
+				t.Errorf("batch=%d workers=%d: digest %s != reference %s", width, workers, d, refDigest)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("batch=%d workers=%d: result differs structurally from reference", width, workers)
+			}
+		}
+	}
+}
+
+// TestBatchedIdentityOtherMethods covers the kernel's slow path (cooling
+// on, dual and hybrid architectures): methodologies that never take the
+// lockstep bus solve, or mix it with scalar steps, must also digest
+// identically to the reference.
+func TestBatchedIdentityOtherMethods(t *testing.T) {
+	for _, tc := range []struct {
+		method   policy.Methodology
+		vehicles int
+		days     int
+	}{
+		{policy.MethodologyDual, 24, 3},
+		{policy.MethodologyCooling, 24, 3},
+		{policy.MethodologyBattery, 24, 3},
+		{policy.MethodologyOTEM, 6, 1},
+	} {
+		spec := Spec{Vehicles: tc.vehicles, Days: tc.days, Seed: 99, Method: tc.method, RouteSeconds: 120}
+		ref, err := RunWith(context.Background(), spec, Options{Batch: -1})
+		if err != nil {
+			t.Fatalf("%s reference: %v", tc.method, err)
+		}
+		for _, width := range []int{1, 7, DefaultBatch} {
+			got, err := RunWith(context.Background(), spec, Options{Batch: width})
+			if err != nil {
+				t.Fatalf("%s batch=%d: %v", tc.method, width, err)
+			}
+			if got.Digest() != ref.Digest() {
+				t.Errorf("%s batch=%d: digest %s != reference %s",
+					tc.method, width, got.Digest(), ref.Digest())
+			}
+		}
+	}
+}
+
+// TestRunUsesBatchedDefault pins that the plain Run entry point (the
+// facade's path) produces the reference outcome too — the batched rollout
+// is the default, not an opt-in fork.
+func TestRunUsesBatchedDefault(t *testing.T) {
+	spec := testSpec()
+	ref, err := RunWith(context.Background(), spec, Options{Batch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != ref.Digest() {
+		t.Fatalf("default Run digest %s != per-vehicle reference %s", got.Digest(), ref.Digest())
+	}
+}

@@ -17,7 +17,6 @@ package fleet
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/canon"
 	"repro/internal/charger"
@@ -25,7 +24,6 @@ import (
 	"repro/internal/core/floats"
 	"repro/internal/drivecycle"
 	"repro/internal/policy"
-	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vehicle"
 )
@@ -373,55 +371,4 @@ func chunkBounds(vehicles, chunks, c int) (lo, hi int) {
 	lo = c * vehicles / chunks
 	hi = (c + 1) * vehicles / chunks
 	return lo, hi
-}
-
-// Run executes the fleet on the pool and returns the merged result.
-// progress, when non-nil, is called after each finished chunk with the
-// cumulative number of completed vehicles; calls are serialized.
-func Run(ctx context.Context, spec Spec, pool *runner.Pool, progress func(vehiclesDone, vehiclesTotal int)) (*Result, error) {
-	spec = spec.withDefaults()
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	if pool == nil {
-		pool = runner.New()
-	}
-
-	chunks := numChunks(spec.Vehicles)
-	var mu sync.Mutex
-	done := 0
-	report := func(n int) {
-		if progress == nil {
-			return
-		}
-		mu.Lock()
-		done += n
-		progress(done, spec.Vehicles)
-		mu.Unlock()
-	}
-
-	parts, err := runner.Map(ctx, pool, chunks, func(ctx context.Context, c int) (*Result, error) {
-		lo, hi := chunkBounds(spec.Vehicles, chunks, c)
-		acc := newAccumulator(spec)
-		var ws workspace
-		for i := lo; i < hi; i++ {
-			o, err := rollVehicle(ctx, spec, i, &ws)
-			if err != nil {
-				return nil, err
-			}
-			acc.add(o)
-		}
-		report(hi - lo)
-		return acc, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	final := newAccumulator(spec)
-	final.Days = spec.Days
-	for _, p := range parts {
-		final.merge(p)
-	}
-	return final, nil
 }

@@ -266,7 +266,10 @@ func (w *WithPredictor) Name() string {
 	return fmt.Sprintf("%s[%s]", w.Inner.Name(), w.P.Name())
 }
 
-// Decide implements sim.Controller.
+// Decide implements sim.Controller. The engine's forecast window is
+// treated as read-only: the predictor writes its estimates into an owned
+// buffer, so the wrapper is safe to run on the batched rollout where the
+// engine shares one window array across all lanes.
 func (w *WithPredictor) Decide(p *sim.Plant, forecast []float64) sim.Action {
 	present := forecast[0]
 	if cap(w.buf) < len(forecast) {
@@ -278,6 +281,13 @@ func (w *WithPredictor) Decide(p *sim.Plant, forecast []float64) sim.Action {
 	w.P.Observe(present)
 	return act
 }
+
+// ForecastDepth implements sim.ForecastReader: only the measured present
+// request forecast[0] is read — the future entries are replaced by the
+// predictor's own estimates — so the engine need not fill the rest.
+func (w *WithPredictor) ForecastDepth() int { return 1 }
+
+var _ sim.ForecastReader = (*WithPredictor)(nil)
 
 // RMSE measures a predictor's error against a series at the given window
 // length: the root-mean-square error over all (step, lead) pairs, watts.

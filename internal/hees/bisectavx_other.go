@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package hees
+
+// useAVX is always false off amd64: Solve dispatches to the portable
+// register-blocked kernels.
+var useAVX = false
+
+// bisect8AVX is unreachable when useAVX is false.
+func bisect8AVX(l *lanes8) { panic("hees: bisect8AVX without AVX") }

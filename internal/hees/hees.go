@@ -99,27 +99,55 @@ func (s *System) StepParallel(loadPower, dt float64) (StepReport, error) {
 	if dt <= 0 {
 		return StepReport{}, fmt.Errorf("hees: non-positive dt %g", dt)
 	}
-	vb := s.Battery.OCV()
-	rb := s.Battery.Resistance()
-	vc := s.Cap.Voltage()
+	pre := s.PrepareParallel()
+	vl, err := solveParallelBus(pre.Batt.VOC, pre.Batt.R, pre.VC, pre.RC, loadPower)
+	if err != nil {
+		return StepReport{}, err
+	}
+	return s.FinishParallel(pre, vl, dt)
+}
+
+// ParallelPrep carries the hoisted per-step inputs of the parallel
+// architecture: the battery prep (shared with the pack integration, so the
+// OCV/resistance exponentials are evaluated once per step instead of three
+// times) and the capacitor terminal quantities. Produce it with
+// PrepareParallel on the state the step will advance.
+type ParallelPrep struct {
+	// Batt is the hoisted battery state; Batt.VOC and Batt.R are the V_b
+	// and R_b of Eqs. 10–13.
+	Batt battery.StepPrep
+	// VC and RC are the capacitor open-circuit voltage and the (floored)
+	// ESR of the split.
+	VC, RC float64
+}
+
+// PrepareParallel hoists the state-dependent inputs of one parallel step.
+// StepParallel is PrepareParallel + solve + FinishParallel; batched rollouts
+// call the pieces directly so many independent solves can run in lockstep
+// over structure-of-arrays scratch while producing bit-identical results.
+func (s *System) PrepareParallel() ParallelPrep {
 	rc := s.Cap.Params.ESR
 	if rc <= 0 {
 		// A perfectly stiff capacitor makes the split degenerate; model the
 		// paper's "inconsiderable" module ESR with a small floor instead.
 		rc = 1e-3
 	}
+	return ParallelPrep{Batt: s.Battery.PrepareStep(), VC: s.Cap.Voltage(), RC: rc}
+}
 
-	vl, err := solveParallelBus(vb, rb, vc, rc, loadPower)
-	if err != nil {
-		return StepReport{}, err
-	}
+// FinishParallel completes a parallel step once the bus voltage is solved:
+// it splits the currents (Eqs. 11–12), integrates both storages and
+// assembles the report. pre must come from PrepareParallel on the current
+// state and vl from a successful bus solve at the same state; dt must be
+// positive (the architecture entry points validate it).
+func (s *System) FinishParallel(pre ParallelPrep, vl, dt float64) (StepReport, error) {
+	vb := pre.Batt.VOC
+	rb := pre.Batt.R
+	vc := pre.VC
 	ib := (vb - vl) / rb
-	ic := (vc - vl) / rc
+	ic := (vc - vl) / pre.RC
 
-	battRes, err := s.Battery.StepCurrent(ib, dt)
-	if err != nil {
-		return StepReport{}, err
-	}
+	battRes := s.Battery.StepCurrentPrepared(pre.Batt, ib, dt)
 	// Capacitor terminal power at the bus.
 	capRes, err := s.Cap.Step(vl*ic, dt)
 	if err != nil && !errors.Is(err, ultracap.ErrEmpty) {

@@ -12,8 +12,15 @@ import (
 // functions of their seeds and inputs, the fleet simulator promises
 // bit-identical sketches at any worker count, and the hierarchical
 // planner's outer plans are cache keys (POST /v1/plan) — the same spec
-// must solve to the same plan forever.
-var detrandScopes = []string{"internal/sim", "internal/mpc", "internal/policy", "internal/fleet", "internal/hmpc"}
+// must solve to the same plan forever. The storage kernels (hees,
+// battery) carry the batched rollout's bit-identity contract: the
+// lockstep bus solver and the prepared battery step must reproduce the
+// scalar path exactly, which no wall-clock or global-source draw may
+// perturb.
+var detrandScopes = []string{
+	"internal/sim", "internal/mpc", "internal/policy", "internal/fleet",
+	"internal/hmpc", "internal/hees", "internal/battery",
+}
 
 // globalRandFuncs are the math/rand package-level functions backed by the
 // shared global source. rand.New / rand.NewSource construct seeded,

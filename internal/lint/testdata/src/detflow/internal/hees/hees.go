@@ -1,0 +1,27 @@
+// Package hees stands in for the storage kernels: its import path ends in
+// internal/hees, so calls that transitively reach nondeterminism must be
+// reported here — the lockstep bus solver's bit-identity contract cannot
+// survive a wall-clock or global-source draw hiding behind a helper.
+package hees
+
+import (
+	"repro/internal/lint/testdata/src/detflow/helpers"
+)
+
+// BracketSlack widens the bisection bracket by a globally-drawn epsilon,
+// one package hop away from the global source.
+func BracketSlack(hi float64) float64 {
+	return hi + 1e-9*helpers.Draw() // want `call to nondeterministic Draw`
+}
+
+// ConvergenceBudget keys the iteration cap on the wall clock, two hops
+// from time.Now.
+func ConvergenceBudget() float64 {
+	return helpers.DoubleWrap() // want `call to nondeterministic DoubleWrap`
+}
+
+// SolveLane is deterministic end to end: pure arithmetic through a helper
+// carries no NondetFact, so nothing is reported.
+func SolveLane(vb, rb float64) float64 {
+	return helpers.Pure(vb) / rb
+}

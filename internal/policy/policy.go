@@ -97,6 +97,10 @@ func (Parallel) Decide(*sim.Plant, []float64) sim.Action {
 	return sim.Action{Arch: sim.ArchParallel}
 }
 
+// ForecastDepth implements sim.ForecastReader: the policy never reads the
+// window, so the batched rollout skips filling it.
+func (Parallel) ForecastDepth() int { return 0 }
+
 // ActiveCooling is the battery-only baseline with a proportional cooling
 // loop: above the setpoint the cooler depresses the inlet temperature in
 // proportion to the excess, holding the pack near TargetTemp.
@@ -141,6 +145,10 @@ func (a *ActiveCooling) Decide(p *sim.Plant, _ []float64) sim.Action {
 	}
 	return act
 }
+
+// ForecastDepth implements sim.ForecastReader: the thermostat only reads
+// the plant temperature, never the window.
+func (*ActiveCooling) ForecastDepth() int { return 0 }
 
 // Dual is the switched dual-architecture baseline of Shin DATE'14.
 type Dual struct {
@@ -225,6 +233,10 @@ func (d *Dual) Decide(p *sim.Plant, forecast []float64) sim.Action {
 	return sim.Action{Arch: sim.ArchDual, DualMode: hees.DualBattery}
 }
 
+// ForecastDepth implements sim.ForecastReader: the policy reads only the
+// present request forecast[0].
+func (*Dual) ForecastDepth() int { return 1 }
+
 // BatteryOnly is a minimal no-management, battery-direct controller used by
 // tests and ablations (no cooling, no ultracapacitor).
 type BatteryOnly struct{}
@@ -237,11 +249,18 @@ func (BatteryOnly) Decide(*sim.Plant, []float64) sim.Action {
 	return sim.Action{Arch: sim.ArchBatteryDirect}
 }
 
+// ForecastDepth implements sim.ForecastReader: no window reads.
+func (BatteryOnly) ForecastDepth() int { return 0 }
+
 var (
-	_ sim.Controller = Parallel{}
-	_ sim.Controller = (*ActiveCooling)(nil)
-	_ sim.Controller = (*Dual)(nil)
-	_ sim.Controller = BatteryOnly{}
+	_ sim.Controller     = Parallel{}
+	_ sim.Controller     = (*ActiveCooling)(nil)
+	_ sim.Controller     = (*Dual)(nil)
+	_ sim.Controller     = BatteryOnly{}
+	_ sim.ForecastReader = Parallel{}
+	_ sim.ForecastReader = (*ActiveCooling)(nil)
+	_ sim.ForecastReader = (*Dual)(nil)
+	_ sim.ForecastReader = BatteryOnly{}
 )
 
 // ByName constructs a baseline controller by name. It accepts both the

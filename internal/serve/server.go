@@ -60,6 +60,11 @@ type Config struct {
 	// request (default GOMAXPROCS). The result is bit-identical at any
 	// setting — only latency changes.
 	FleetParallelism int
+	// FleetBatch selects the fleet rollout lane width: 0 (default) the
+	// auto-tuned batched rollout, > 0 that many vehicles per lockstep
+	// group, < 0 the per-vehicle reference path. Like FleetParallelism the
+	// result is bit-identical at any setting — only throughput changes.
+	FleetBatch int
 	// Log receives serving events and isolated panics; nil selects the
 	// process-default logger.
 	Log *log.Logger
@@ -398,7 +403,9 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		}
 		defer s.gate.release()
 		out, err := runner.Map(ctx, s.pool, 1, func(ctx context.Context, _ int) (*otem.FleetResult, error) {
-			return s.runFleet(ctx, spec, otem.WithParallelism(s.cfg.FleetParallelism))
+			return s.runFleet(ctx, spec,
+				otem.WithParallelism(s.cfg.FleetParallelism),
+				otem.WithFleetBatch(s.cfg.FleetBatch))
 		})
 		if err != nil {
 			return nil, err
@@ -582,7 +589,10 @@ func (s *Server) handleFleetStream(w http.ResponseWriter, r *http.Request) {
 		}
 		defer s.gate.release()
 		out, err := runner.Map(ctx, s.pool, 1, func(ctx context.Context, _ int) (*otem.FleetResult, error) {
-			return s.runFleet(ctx, spec, otem.WithParallelism(s.cfg.FleetParallelism), otem.WithProgress(progress))
+			return s.runFleet(ctx, spec,
+				otem.WithParallelism(s.cfg.FleetParallelism),
+				otem.WithFleetBatch(s.cfg.FleetBatch),
+				otem.WithProgress(progress))
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,233 @@
+// Batched lockstep rollout: many independent vehicles advance through the
+// same Algorithm 1 step loop one global step at a time, so the per-step
+// work of a whole batch runs back to back over contiguous state instead of
+// one vehicle monopolising the pipeline for its whole route. The payoff is
+// twofold: the parallel-architecture bus solves of all lanes go through
+// one hees.BusBatch lockstep bisection (independent lanes hide each
+// other's divide latency), and controllers that declare a ForecastDepth
+// skip the per-step horizon fill entirely.
+//
+// Bit-identity contract: every lane's floating-point sequence is exactly
+// RunContext's for the same vehicle — the fast path reuses PrepareParallel
+// / FinishParallel / batteryFallback and the lockstep solver is
+// bit-identical to solveParallelBus (property-tested in hees), the slow
+// path calls the very same executeAction/advanceThermal helpers — so a
+// batched fleet digests identically to the per-vehicle path at any batch
+// size.
+
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cooling"
+	"repro/internal/hees"
+	"repro/internal/runner"
+)
+
+// BatchVehicle is one lane of a batched rollout: its plant, its controller
+// and its route. Plants and controllers must be distinct per lane (both
+// are mutated).
+type BatchVehicle struct {
+	// Plant is the lane's physical system, mutated in place.
+	Plant *Plant
+	// Ctrl is the lane's controller.
+	Ctrl Controller
+	// Requests is the lane's route power-request series, watts.
+	Requests []float64
+}
+
+// BatchScratch holds the worker-owned structure-of-arrays state of a
+// batched rollout — the lockstep bus solver, the per-lane accumulators and
+// the shared forecast window — so repeated batches run allocation-free.
+// Single-goroutine state: give each worker its own.
+type BatchScratch struct {
+	forecast []float64 // one shared window, refilled per lane per step
+	bus      hees.BusBatch
+	pre      []hees.ParallelPrep // per bus slot, parallel to bus lanes
+	busLane  []int               // lane index per bus slot
+	coolOn   []bool              // per bus slot: cooling commanded this step
+	inlet    []float64           // per bus slot: commanded inlet temperature
+	depth    []int               // per-lane forecast fill depth
+	active   []int               // packed indices of lanes still driving
+	tempSum  []float64           // per-lane running T_b sum
+	results  []Result            // per-lane accumulators, returned by RunBatch
+}
+
+// ensure sizes the scratch for n lanes and a horizon-length window.
+//
+//lint:coldpath per-batch capacity growth; warmed scratch returns at the cap checks
+func (sc *BatchScratch) ensure(n, horizon int) {
+	if cap(sc.forecast) < horizon {
+		sc.forecast = make([]float64, horizon)
+	}
+	sc.forecast = sc.forecast[:horizon]
+	if cap(sc.results) < n {
+		sc.pre = make([]hees.ParallelPrep, n)
+		sc.busLane = make([]int, n)
+		sc.coolOn = make([]bool, n)
+		sc.inlet = make([]float64, n)
+		sc.depth = make([]int, n)
+		sc.active = make([]int, n)
+		sc.tempSum = make([]float64, n)
+		sc.results = make([]Result, n)
+	}
+	sc.bus.Ensure(n)
+}
+
+// forecastDepth resolves a controller's declared window consumption.
+func forecastDepth(ctrl Controller, horizon int) int {
+	if fr, ok := ctrl.(ForecastReader); ok {
+		if d := fr.ForecastDepth(); d >= 0 && d < horizon {
+			return d
+		}
+	}
+	return horizon
+}
+
+// RunBatch simulates every lane's route in lockstep and returns the
+// per-lane results, indexed like lanes. The returned slice and the results
+// it holds are owned by the scratch and valid until the next RunBatch call
+// on it. Tracing is not supported on the batched path; use RunContext for
+// figure-style experiments.
+//
+//lint:hotpath the lockstep batch loop is the fleet simulator's inner loop; with a warmed scratch it must not allocate
+func RunBatch(ctx context.Context, lanes []BatchVehicle, cfg Config, sc *BatchScratch) ([]Result, error) {
+	if len(lanes) == 0 {
+		return nil, errors.New("sim: empty batch")
+	}
+	if cfg.RecordTrace {
+		return nil, errors.New("sim: the batched rollout does not record traces")
+	}
+	horizon := cfg.Horizon
+	if horizon < 1 {
+		horizon = 1
+	}
+	sc.ensure(len(lanes), horizon)
+
+	maxSteps := 0
+	for k := range lanes {
+		ln := &lanes[k]
+		if err := ln.Plant.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d: %w", k, err)
+		}
+		if ln.Ctrl == nil {
+			return nil, fmt.Errorf("sim: batch lane %d: nil controller", k)
+		}
+		if len(ln.Requests) == 0 {
+			return nil, fmt.Errorf("sim: batch lane %d: empty request series", k)
+		}
+		sc.depth[k] = forecastDepth(ln.Ctrl, horizon)
+		sc.active[k] = k
+		sc.tempSum[k] = 0
+		sc.results[k] = Result{Controller: ln.Ctrl.Name(), Steps: len(ln.Requests), DT: ln.Plant.DT}
+		if len(ln.Requests) > maxSteps {
+			maxSteps = len(ln.Requests)
+		}
+	}
+
+	forecast := sc.forecast
+	bus := &sc.bus
+	na := len(lanes)
+	done := ctx.Done() // nil for context.Background(): the select never fires
+	for t := 0; t < maxSteps && na > 0; t++ {
+		select {
+		case <-done:
+			return nil, fmt.Errorf("sim: batch canceled at step %d: %w", t, runner.Canceled(ctx.Err()))
+		default:
+		}
+
+		// Pass 1 — decide every lane; parallel-architecture lanes park
+		// their bus solve in the lockstep batch, everything else steps
+		// through the scalar path immediately.
+		nb := 0
+		for a := 0; a < na; a++ {
+			k := sc.active[a]
+			ln := &lanes[k]
+			plant := ln.Plant
+			plant.HEES.Battery.Temp = plant.Loop.BatteryTemp
+			fillForecast(forecast[:sc.depth[k]], ln.Requests, t)
+			act := ln.Ctrl.Decide(plant, forecast)
+			pe := ln.Requests[t]
+			load := pe + coolingLoad(plant, act)
+			if act.Arch == ArchParallel {
+				pre := plant.HEES.PrepareParallel()
+				sc.pre[nb] = pre
+				sc.busLane[nb] = k
+				sc.coolOn[nb] = act.CoolingOn
+				sc.inlet[nb] = act.InletTemp
+				bus.VB[nb] = pre.Batt.VOC
+				bus.RB[nb] = pre.Batt.R
+				bus.VC[nb] = pre.VC
+				bus.RC[nb] = pre.RC
+				bus.P[nb] = load
+				nb++
+				continue
+			}
+			rep, fellBack := executeAction(plant, act, load)
+			coolRes, err := advanceThermal(plant, act, rep.Batt.HeatRate)
+			if err != nil {
+				return nil, fmt.Errorf("sim: batch lane %d thermal step %d: %w", k, t, err)
+			}
+			plant.HEES.Battery.Temp = plant.Loop.BatteryTemp
+			tb := plant.Loop.BatteryTemp
+			sc.results[k].accumulateStep(rep, coolRes, fellBack,
+				tb, plant.HEES.Battery.Cell.SafeTemp, plant.DT)
+			sc.tempSum[k] += tb
+		}
+
+		// Pass 2 — one lockstep bisection over every parked bus solve.
+		bus.Solve(nb)
+
+		// Pass 3 — finish the parked lanes: integrate the storages with
+		// the solved bus voltage (or recover through the scalar fallback),
+		// then advance the thermal loop, active or passive per the
+		// stashed cooling command.
+		for j := 0; j < nb; j++ {
+			k := sc.busLane[j]
+			plant := lanes[k].Plant
+			var rep hees.StepReport
+			fellBack := false
+			if bus.Feasible[j] {
+				var err error
+				rep, err = plant.HEES.FinishParallel(sc.pre[j], bus.VL[j], plant.DT)
+				if err != nil {
+					rep, fellBack = batteryFallback(plant.HEES, bus.P[j], plant.DT)
+				}
+			} else {
+				rep, fellBack = batteryFallback(plant.HEES, bus.P[j], plant.DT)
+			}
+			var coolRes cooling.StepResult
+			var err error
+			if sc.coolOn[j] {
+				coolRes, err = plant.Loop.StepActive(rep.Batt.HeatRate, sc.inlet[j], plant.DT)
+			} else {
+				coolRes, err = plant.Loop.StepPassive(rep.Batt.HeatRate, plant.Ambient, plant.DT)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("sim: batch lane %d thermal step %d: %w", k, t, err)
+			}
+			plant.HEES.Battery.Temp = plant.Loop.BatteryTemp
+			tb := plant.Loop.BatteryTemp
+			sc.results[k].accumulateStep(rep, coolRes, fellBack,
+				tb, plant.HEES.Battery.Cell.SafeTemp, plant.DT)
+			sc.tempSum[k] += tb
+		}
+
+		// Retire lanes whose route ended this step.
+		nw := 0
+		for a := 0; a < na; a++ {
+			k := sc.active[a]
+			if t+1 < len(lanes[k].Requests) {
+				sc.active[nw] = k
+				nw++
+				continue
+			}
+			sc.results[k].finishRoute(lanes[k].Plant, sc.tempSum[k])
+		}
+		na = nw
+	}
+	return sc.results[:len(lanes)], nil
+}

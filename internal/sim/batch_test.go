@@ -1,0 +1,139 @@
+package sim_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// batchTestRoute synthesises a deterministic mixed route: discharge ramps,
+// regen dips, idle stretches and an infeasible spike that exercises the
+// battery fallback.
+func batchTestRoute(seed int64, steps int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, steps)
+	for i := range out {
+		switch rng.Intn(6) {
+		case 0:
+			out[i] = -15e3 * rng.Float64() // regen
+		case 1:
+			out[i] = 0 // idle
+		default:
+			out[i] = 45e3 * rng.Float64() // drive
+		}
+	}
+	return out
+}
+
+// TestRunBatchMatchesRunContext is the kernel-level bit-identity gate:
+// lanes of different lengths, stepped in lockstep, must produce exactly
+// the sim.Result that sim.RunContext produces for the same vehicle — every field,
+// compared with == (no tolerances).
+func TestRunBatchMatchesRunContext(t *testing.T) {
+	ctrls := map[string]func() sim.Controller{
+		"parallel": func() sim.Controller { return policy.Parallel{} },
+		"dual":     func() sim.Controller { return policy.NewDual() },
+		"cooling":  func() sim.Controller { return policy.NewActiveCooling() },
+	}
+	for name, mk := range ctrls {
+		const lanes = 9
+		batch := make([]sim.BatchVehicle, lanes)
+		want := make([]sim.Result, lanes)
+		for k := 0; k < lanes; k++ {
+			route := batchTestRoute(int64(100+k), 80+13*k) // staggered lengths
+			ref, err := sim.NewPlant(sim.PlantConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := sim.RunContext(context.Background(), ref, mk(), route, sim.Config{Horizon: 5})
+			if err != nil {
+				t.Fatalf("%s lane %d scalar: %v", name, k, err)
+			}
+			want[k] = w
+
+			p, err := sim.NewPlant(sim.PlantConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch[k] = sim.BatchVehicle{Plant: p, Ctrl: mk(), Requests: route}
+		}
+		var sc sim.BatchScratch
+		got, err := sim.RunBatch(context.Background(), batch, sim.Config{Horizon: 5}, &sc)
+		if err != nil {
+			t.Fatalf("%s batch: %v", name, err)
+		}
+		for k := 0; k < lanes; k++ {
+			if got[k] != want[k] {
+				t.Errorf("%s lane %d: batch result %+v != scalar %+v", name, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestRunBatchForecastDepthInvariance pins that the depth-limited forecast
+// fill cannot change outcomes: a controller reading the full window must
+// see identical results batched and scalar even when other lanes' depths
+// left stale entries in the shared buffer.
+func TestRunBatchForecastDepthInvariance(t *testing.T) {
+	route := batchTestRoute(7, 96)
+	ref, err := sim.NewPlant(sim.PlantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.RunContext(context.Background(), ref, policy.NewDual(), route, sim.Config{Horizon: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane 0 (depth 0) dirties the window before lane 1 reads it.
+	p0, _ := sim.NewPlant(sim.PlantConfig{})
+	p1, _ := sim.NewPlant(sim.PlantConfig{})
+	var sc sim.BatchScratch
+	got, err := sim.RunBatch(context.Background(), []sim.BatchVehicle{
+		{Plant: p0, Ctrl: policy.Parallel{}, Requests: batchTestRoute(8, 96)},
+		{Plant: p1, Ctrl: policy.NewDual(), Requests: route},
+	}, sim.Config{Horizon: 8}, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != want {
+		t.Fatalf("dual lane diverged behind a depth-0 lane: %+v != %+v", got[1], want)
+	}
+}
+
+// TestRunBatchWarmNoAlloc proves the batched step loop is allocation-free
+// once the scratch is warm — the allocflow gate's runtime counterpart.
+func TestRunBatchWarmNoAlloc(t *testing.T) {
+	const lanes = 16
+	routes := make([][]float64, lanes)
+	for k := range routes {
+		routes[k] = batchTestRoute(int64(k), 64)
+	}
+	batch := make([]sim.BatchVehicle, lanes)
+	var sc sim.BatchScratch
+	reset := func() {
+		for k := range batch {
+			p, err := sim.NewPlant(sim.PlantConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch[k] = sim.BatchVehicle{Plant: p, Ctrl: policy.Parallel{}, Requests: routes[k]}
+		}
+	}
+	reset()
+	if _, err := sim.RunBatch(context.Background(), batch, sim.Config{Horizon: 5}, &sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := sim.RunBatch(context.Background(), batch, sim.Config{Horizon: 5}, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// reset() allocations (fresh plants) are outside the measured closure;
+	// the warm batch loop itself must not allocate at all.
+	if allocs != 0 {
+		t.Fatalf("warm sim.RunBatch allocates %.2f per run, want 0", allocs)
+	}
+}

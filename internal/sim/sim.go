@@ -111,8 +111,25 @@ type Controller interface {
 	// Decide returns the action for the current step. forecast[0] is the
 	// present power request P_e^t in watts; the remaining entries are the
 	// estimated requests for future steps (the MPC control window). The
-	// controller must not mutate the plant.
+	// controller must not mutate the plant, and must treat the forecast
+	// window as read-only: the engine may hand the same backing array to
+	// every vehicle of a batch, or a view straight into the route series.
 	Decide(p *Plant, forecast []float64) Action
+}
+
+// ForecastReader is an optional Controller extension declaring how many
+// leading forecast entries Decide actually reads. The batched rollout uses
+// it to fill only the prefix a controller consumes — outcome-invariant,
+// because entries past the declared depth are never read — instead of
+// writing the full horizon for every vehicle at every step. Entries beyond
+// the depth hold stale values from other lanes; a controller implementing
+// this interface must never read past its declared depth. Controllers
+// without the interface receive the fully filled window.
+type ForecastReader interface {
+	// ForecastDepth returns the number of leading forecast entries Decide
+	// reads: 0 for none, 1 for just the present request, a negative value
+	// for the whole window.
+	ForecastDepth() int
 }
 
 // Trace records per-step signals for the figure-style experiments.
@@ -321,55 +338,23 @@ func RunContext(ctx context.Context, plant *Plant, ctrl Controller, requests []f
 
 		// Build the forecast window (zero-padded past the route end,
 		// matching Algorithm 1 lines 11–12).
-		for k := 0; k < horizon; k++ {
-			if t+k < len(requests) {
-				forecast[k] = requests[t+k]
-			} else {
-				forecast[k] = 0
-			}
-		}
+		fillForecast(forecast, requests, t)
 
 		act := ctrl.Decide(plant, forecast)
-
-		// Cooling electrical power is drawn from the same bus, so it adds
-		// to the storage load.
-		var coolPower float64
-		if act.CoolingOn {
-			coolPower = plant.Loop.CoolerPowerFor(
-				clampInlet(plant.Loop, act.InletTemp)) + plant.Loop.Params.PumpPower
-		}
-		load := pe + coolPower
+		load := pe + coolingLoad(plant, act)
 
 		rep, fellBack := executeAction(plant, act, load)
 		// Advance the thermal network with the battery heat of this step.
-		var coolRes cooling.StepResult
-		var err error
-		if act.CoolingOn {
-			coolRes, err = plant.Loop.StepActive(rep.Batt.HeatRate, act.InletTemp, plant.DT)
-		} else {
-			coolRes, err = plant.Loop.StepPassive(rep.Batt.HeatRate, plant.Ambient, plant.DT)
-		}
+		coolRes, err := advanceThermal(plant, act, rep.Batt.HeatRate)
 		if err != nil {
 			return res, fmt.Errorf("sim: thermal step %d: %w", t, err)
 		}
 		plant.HEES.Battery.Temp = plant.Loop.BatteryTemp
 
 		// Accumulate Algorithm 1 outputs (lines 17–18).
-		stepCool := (coolRes.CoolerPower + coolRes.PumpPower) * plant.DT
-		res.QlossPct += rep.Batt.AgingPct
-		res.HEESEnergyJ += rep.HEESEnergyJ
-		res.CoolingEnergyJ += stepCool
-		if fellBack {
-			res.FallbackSteps++
-		}
 		tb := plant.Loop.BatteryTemp
+		res.accumulateStep(rep, coolRes, fellBack, tb, safe, plant.DT)
 		tempSum += tb
-		if tb > res.MaxBatteryTemp {
-			res.MaxBatteryTemp = tb
-		}
-		if tb > safe {
-			res.ThermalViolationSec += plant.DT
-		}
 		if res.Trace != nil {
 			res.Trace.append(float64(t)*plant.DT, pe, tb, plant.Loop.CoolantTemp,
 				plant.HEES.Battery.SoC, plant.HEES.Cap.SoE,
@@ -380,12 +365,67 @@ func RunContext(ctx context.Context, plant *Plant, ctrl Controller, requests []f
 		}
 	}
 
+	res.finishRoute(plant, tempSum)
+	return res, nil
+}
+
+// fillForecast writes the window starting at step t into dst, zero-padded
+// past the route end. The batched rollout passes a depth-limited dst when
+// the controller declares (via ForecastReader) that it reads fewer entries.
+func fillForecast(dst, requests []float64, t int) {
+	for k := range dst {
+		if t+k < len(requests) {
+			dst[k] = requests[t+k]
+		} else {
+			dst[k] = 0
+		}
+	}
+}
+
+// coolingLoad returns the cooling system's electrical draw for an action.
+// It is drawn from the same bus, so it adds to the storage load.
+func coolingLoad(plant *Plant, act Action) float64 {
+	if !act.CoolingOn {
+		return 0
+	}
+	return plant.Loop.CoolerPowerFor(
+		clampInlet(plant.Loop, act.InletTemp)) + plant.Loop.Params.PumpPower
+}
+
+// advanceThermal integrates the thermal network with this step's battery
+// heat, active or passive per the action.
+func advanceThermal(plant *Plant, act Action, heat float64) (cooling.StepResult, error) {
+	if act.CoolingOn {
+		return plant.Loop.StepActive(heat, act.InletTemp, plant.DT)
+	}
+	return plant.Loop.StepPassive(heat, plant.Ambient, plant.DT)
+}
+
+// accumulateStep folds one step's outputs into the route result — the
+// single definition of Algorithm 1's accumulators, shared by the scalar
+// and the batched rollout so both produce bit-identical sums.
+func (res *Result) accumulateStep(rep hees.StepReport, coolRes cooling.StepResult, fellBack bool, tb, safe, dt float64) {
+	res.QlossPct += rep.Batt.AgingPct
+	res.HEESEnergyJ += rep.HEESEnergyJ
+	res.CoolingEnergyJ += (coolRes.CoolerPower + coolRes.PumpPower) * dt
+	if fellBack {
+		res.FallbackSteps++
+	}
+	if tb > res.MaxBatteryTemp {
+		res.MaxBatteryTemp = tb
+	}
+	if tb > safe {
+		res.ThermalViolationSec += dt
+	}
+}
+
+// finishRoute derives the end-of-route metrics.
+func (res *Result) finishRoute(plant *Plant, tempSum float64) {
 	duration := float64(res.Steps) * plant.DT
 	res.AvgPowerW = res.HEESEnergyJ / duration
 	res.AvgBatteryTemp = tempSum / float64(res.Steps)
 	res.FinalSoC = plant.HEES.Battery.SoC
 	res.FinalSoE = plant.HEES.Cap.SoE
-	return res, nil
 }
 
 // setupRoute acquires the forecast window and, when tracing, the trace
@@ -485,7 +525,13 @@ func executeAction(plant *Plant, act Action, load float64) (hees.StepReport, boo
 	if err == nil {
 		return rep, false
 	}
-	// Last-resort fallback: battery alone, clamped to its capability.
+	return batteryFallback(s, load, dt)
+}
+
+// batteryFallback is the last-resort path for an infeasible command:
+// battery alone, clamped to its capability. The batched rollout shares it
+// so an infeasible lane recovers through exactly the scalar sequence.
+func batteryFallback(s *hees.System, load, dt float64) (hees.StepReport, bool) {
 	rep2, err2 := stepBatteryDirect(s, load, dt)
 	if err2 != nil {
 		// Clamp to whatever the battery can deliver.

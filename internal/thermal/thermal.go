@@ -23,6 +23,7 @@ package thermal
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/cooling"
 	"repro/internal/linalg"
@@ -46,6 +47,18 @@ type PackNetwork struct {
 	lu  linalg.LUFactor
 	rhs linalg.Vector
 	x   linalg.Vector
+
+	// Coefficient signature of the factorisation currently held in lu.
+	// The system matrix depends only on (cb, cc, h, w, advect) — not on the
+	// temperatures, heat input or inlet — so consecutive steps with the same
+	// dt and coupling coefficients (the common case: a fixed-dt simulation
+	// staying in one pump mode) reuse the factors and only rebuild the RHS.
+	sigValid  bool
+	sigAdvect bool
+	sigCB     uint64
+	sigCC     uint64
+	sigH      uint64
+	sigW      uint64
 }
 
 // NewPackNetwork builds a network with all nodes at the initial temperature.
@@ -102,40 +115,56 @@ func (net *PackNetwork) step(qb, w, tin, dt float64, advect bool) error {
 		net.a = linalg.NewMatrix(dim, dim)
 		net.rhs = make(linalg.Vector, dim)
 		net.x = make(linalg.Vector, dim)
-	} else {
-		net.a.Zero()
 	}
-	a := net.a
+
+	// The coolant coupling entering the matrix: the advection rate in active
+	// mode, the per-segment ambient share in passive mode.
+	wm := w
+	if !advect {
+		wm = wAmb
+	}
+	sb, sc, sh, sw := math.Float64bits(cb), math.Float64bits(cc), math.Float64bits(h), math.Float64bits(wm)
+	if !net.sigValid || net.sigAdvect != advect ||
+		net.sigCB != sb || net.sigCC != sc || net.sigH != sh || net.sigW != sw {
+		net.sigValid = false
+		a := net.a
+		a.Zero()
+		for i := 0; i < n; i++ {
+			bi := i     // battery row
+			ci := n + i // coolant row
+
+			// Battery node: cb·Tb+ − cb·Tb = h·(Tc+ − Tb+) + q
+			a.Set(bi, bi, cb+h)
+			a.Set(bi, ci, -h)
+
+			// Coolant node: cc·Tc+ − cc·Tc = h·(Tb+ − Tc+) plus either
+			// W·(Tc_{i−1}+ − Tc+) (advection chain) or wAmb·(ambient − Tc+).
+			a.Set(ci, ci, cc+h+wm)
+			a.Set(ci, bi, -h)
+			if advect && i > 0 {
+				a.Set(ci, n+i-1, -w)
+			}
+		}
+		if err := net.lu.Factorize(a); err != nil {
+			return fmt.Errorf("thermal: %w", err)
+		}
+		net.sigValid = true
+		net.sigAdvect = advect
+		net.sigCB, net.sigCC, net.sigH, net.sigW = sb, sc, sh, sw
+	}
+
 	rhs := net.rhs
 	for i := 0; i < n; i++ {
-		bi := i     // battery row
-		ci := n + i // coolant row
-
-		// Battery node: cb·Tb+ − cb·Tb = h·(Tc+ − Tb+) + q
-		a.Set(bi, bi, cb+h)
-		a.Set(bi, ci, -h)
-		rhs[bi] = cb*net.Tb[i] + q
-
-		// Coolant node.
+		rhs[i] = cb*net.Tb[i] + q
+		ci := n + i
 		if advect {
-			// cc·Tc+ − cc·Tc = h·(Tb+ − Tc+) + W·(Tc_{i−1}+ − Tc+)
-			a.Set(ci, ci, cc+h+w)
-			a.Set(ci, bi, -h)
 			rhs[ci] = cc * net.Tc[i]
 			if i == 0 {
 				rhs[ci] += w * tin
-			} else {
-				a.Set(ci, n+i-1, -w)
 			}
 		} else {
-			// cc·Tc+ − cc·Tc = h·(Tb+ − Tc+) + wAmb·(ambient − Tc+)
-			a.Set(ci, ci, cc+h+wAmb)
-			a.Set(ci, bi, -h)
 			rhs[ci] = cc*net.Tc[i] + wAmb*tin
 		}
-	}
-	if err := net.lu.Factorize(a); err != nil {
-		return fmt.Errorf("thermal: %w", err)
 	}
 	net.lu.SolveTo(net.x, rhs)
 	copy(net.Tb, net.x[:n])

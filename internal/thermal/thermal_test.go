@@ -2,6 +2,7 @@ package thermal
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/cooling"
@@ -170,5 +171,77 @@ func TestBackwardEulerStableAtLargeSteps(t *testing.T) {
 				t.Fatalf("unstable at large dt: %v", net.Tb)
 			}
 		}
+	}
+}
+
+// TestFactorCacheMatchesAlwaysRefactorize drives two identical networks
+// through the same randomized mixed schedule — pump-mode flips, dt changes,
+// varying heat and inlet/ambient — with one network forced to re-assemble
+// and re-factorize every step. The cached path must be bit-identical: a
+// cache hit reuses the factors of the exact same matrix, so skipping
+// Factorize cannot change a single ULP.
+func TestFactorCacheMatchesAlwaysRefactorize(t *testing.T) {
+	cached := newNet(t, 6, units.CToK(32))
+	ref := newNet(t, 6, units.CToK(32))
+
+	rng := rand.New(rand.NewSource(7))
+	dts := []float64{1, 1, 1, 0.5, 2, 120}
+	for step := 0; step < 2000; step++ {
+		qb := rng.Float64() * 4000
+		dt := dts[rng.Intn(len(dts))]
+		active := rng.Intn(3) != 0 // mostly pumped, with passive stretches
+		tin := units.CToK(10 + rng.Float64()*25)
+
+		ref.sigValid = false // force the always-refactorize reference path
+		var errC, errR error
+		if active {
+			errC = cached.StepActive(qb, tin, dt)
+			errR = ref.StepActive(qb, tin, dt)
+		} else {
+			errC = cached.StepPassive(qb, tin, dt)
+			errR = ref.StepPassive(qb, tin, dt)
+		}
+		if (errC == nil) != (errR == nil) {
+			t.Fatalf("step %d: error mismatch: cached %v, reference %v", step, errC, errR)
+		}
+		for i := 0; i < cached.N; i++ {
+			if math.Float64bits(cached.Tb[i]) != math.Float64bits(ref.Tb[i]) ||
+				math.Float64bits(cached.Tc[i]) != math.Float64bits(ref.Tc[i]) {
+				t.Fatalf("step %d module %d: cached (%v, %v) != reference (%v, %v)",
+					step, i, cached.Tb[i], cached.Tc[i], ref.Tb[i], ref.Tc[i])
+			}
+		}
+	}
+}
+
+// TestFactorCacheInvalidation spot-checks the signature: consecutive
+// same-coefficient steps reuse the factors, and any coefficient change
+// (dt, pump mode) re-factorizes rather than solving with stale factors.
+func TestFactorCacheInvalidation(t *testing.T) {
+	net := newNet(t, 4, 300)
+	if err := net.StepActive(1000, 290, 1); err != nil {
+		t.Fatal(err)
+	}
+	sig := [4]uint64{net.sigCB, net.sigCC, net.sigH, net.sigW}
+	if !net.sigValid {
+		t.Fatal("signature not recorded after first step")
+	}
+	if err := net.StepActive(2000, 285, 1); err != nil { // q/tin only: cache hit
+		t.Fatal(err)
+	}
+	if [4]uint64{net.sigCB, net.sigCC, net.sigH, net.sigW} != sig {
+		t.Error("signature changed on a pure-RHS step")
+	}
+	if err := net.StepActive(1000, 290, 2); err != nil { // dt change: refactorize
+		t.Fatal(err)
+	}
+	if [4]uint64{net.sigCB, net.sigCC, net.sigH, net.sigW} == sig {
+		t.Error("dt change did not refresh the signature")
+	}
+	if err := net.StepPassive(1000, 290, 2); err != nil { // mode change
+		t.Fatal(err)
+	}
+	if net.sigAdvect {
+		t.Error("passive step left sigAdvect set")
 	}
 }

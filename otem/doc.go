@@ -61,7 +61,11 @@
 //	fmt.Println(res.Qloss.Quantile(0.95), res.Digest())
 //
 // The same spec and seed produce a bit-identical result (same Digest, same
-// otem.fleet/v1 JSON from EncodeFleet) at any parallelism.
+// otem.fleet/v1 JSON from EncodeFleet) at any parallelism. Each worker
+// rolls its vehicles in structure-of-arrays batches with vectorized
+// lockstep bus solves; WithFleetBatch selects the lane width (0 = auto,
+// negative = the per-vehicle reference path) without changing a single
+// bit of the result.
 //
 // # Two-layer hierarchical MPC
 //

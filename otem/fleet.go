@@ -34,16 +34,25 @@ func FleetFamilyNames() []string { return fleet.FamilyNames() }
 // loss, energy and peak temperature into quantile sketches, in O(workers)
 // memory regardless of fleet size.
 //
+// The rollout is batched by default: vehicles advance in lockstep groups
+// over structure-of-arrays state (see WithFleetBatch), which is
+// bit-identical to the per-vehicle path at any width and worker count.
+//
 // Determinism: the same spec (seed included) produces a bit-identical
-// result at any parallelism. RunFleet consumes the WithParallelism and
-// WithProgress options (progress ticks are vehicles); the explicit
-// context wins over WithContext. A nil ctx means context.Background().
+// result at any parallelism and batch width. RunFleet consumes the
+// WithParallelism, WithFleetBatch and WithProgress options (progress ticks
+// are vehicles); the explicit context wins over WithContext. A nil ctx
+// means context.Background().
 func RunFleet(ctx context.Context, spec FleetSpec, opts ...Option) (*FleetResult, error) {
 	s := newSettings(opts)
 	if ctx == nil {
 		ctx = s.ctx
 	}
-	return fleet.Run(ctx, spec, s.workerPool(), s.progress)
+	return fleet.RunWith(ctx, spec, fleet.Options{
+		Pool:     s.workerPool(),
+		Progress: s.progress,
+		Batch:    s.fleetBatch,
+	})
 }
 
 // CanonicalSpec is the canonical-encoding contract shared by RunSpec,

@@ -16,6 +16,7 @@ type settings struct {
 	trace       bool
 	horizon     int
 	parallelism int
+	fleetBatch  int
 	progress    func(done, total int)
 }
 
@@ -52,6 +53,7 @@ func (s settings) workerPool() *runner.Pool {
 //	WithTrace()          per-step traces  (Simulate)
 //	WithHorizon(n)       forecast window  (Simulate, ProjectLifetime)
 //	WithParallelism(n)   worker bound     (RunBatch, ExploreDesigns, RunFleet)
+//	WithFleetBatch(n)    rollout width    (RunFleet)
 //	WithProgress(fn)     completion ticks (RunBatch, ExploreDesigns, ProjectLifetime, RunFleet)
 //
 // Options outside an entry point's row are accepted and ignored, so one
@@ -104,6 +106,16 @@ func WithContext(ctx context.Context) Option {
 // points, fleet chunks). Zero or negative selects the default, GOMAXPROCS.
 func WithParallelism(n int) Option {
 	return optionFunc(func(s *settings) { s.parallelism = n })
+}
+
+// WithFleetBatch selects RunFleet's rollout: 0 (the default) runs the
+// structure-of-arrays batched rollout at its auto-tuned lane width, a
+// positive n batches n vehicles per lockstep group, and a negative value
+// forces the per-vehicle reference path. Outcomes are bit-identical across
+// every setting — the batch width only changes throughput, never the
+// digest — so it is safe to tune freely.
+func WithFleetBatch(n int) Option {
+	return optionFunc(func(s *settings) { s.fleetBatch = n })
 }
 
 // WithProgress registers a callback invoked as a run advances, with the
